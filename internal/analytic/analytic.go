@@ -1,0 +1,83 @@
+// Package analytic implements the closed-form performance model of the
+// paper's Section 5 for the sum reduction of a 5·2ⁿ-element array on the
+// proposed many-core:
+//
+//   - Instructions(n) = 45·2ⁿ + 14·(2ⁿ − 1)
+//   - FetchTime(n)    = 30 + 12·n cycles
+//   - RetireTime(n)   = 43 + 15·n cycles
+//
+// The paper's calibration points: sum(t,5) (n=0) fetches 45 instructions in
+// 30 cycles and retires in 43; sum over 1280 elements (n=8) fetches 15090
+// instructions in 126 cycles (~120 instructions/cycle) and retires in 163
+// (~92 instructions/cycle).
+package analytic
+
+// Instructions returns the dynamic instruction count of the fork-version sum
+// over a 5·2ⁿ-element array (Section 5: "45·2ⁿ + 14·(2ⁿ−1)").
+func Instructions(n int) int64 {
+	p := int64(1) << uint(n)
+	return 45*p + 14*(p-1)
+}
+
+// Elements returns the array size for doubling step n.
+func Elements(n int) int64 { return 5 << uint(n) }
+
+// FetchTime returns the paper's fetch completion time in cycles
+// (Section 5: "30 + 12·n").
+func FetchTime(n int) int64 { return 30 + 12*int64(n) }
+
+// RetireTime returns the paper's retirement completion time in cycles
+// (Section 5: "43 + 15·n"; footnote 7 derives the 15-cycle per-level cost as
+// 5 cycles fetching instructions 2,3,8–10, 2 cycles of section creation,
+// 5 cycles fetching instructions 11–16 and 3 cycles retiring 17–19).
+func RetireTime(n int) int64 { return 43 + 15*int64(n) }
+
+// FetchIPC returns instructions fetched per cycle at doubling step n.
+func FetchIPC(n int) float64 {
+	return float64(Instructions(n)) / float64(FetchTime(n))
+}
+
+// RetireIPC returns instructions retired per cycle at doubling step n.
+func RetireIPC(n int) float64 {
+	return float64(Instructions(n)) / float64(RetireTime(n))
+}
+
+// Sections returns the number of sections the fork run creates: the initial
+// section plus one per fork. Each internal node of the call tree executes
+// two forks; for 5·2ⁿ elements the internal node count satisfies
+// I(n) = 2·I(n−1)+1 with I(0)=2 (the 5-element tree of Fig. 4), so
+// I(n) = 3·2ⁿ−1 and Sections(n) = 2·I(n)+1 = 6·2ⁿ−1. Fig. 4's five sections
+// are the n=0 case.
+func Sections(n int) int64 {
+	return 6*(int64(1)<<uint(n)) - 1
+}
+
+// Row is one line of the Section 5 scaling table.
+type Row struct {
+	N            int     // doubling step
+	Elements     int64   // array size 5·2ⁿ
+	Instructions int64   // dynamic instructions
+	FetchTime    int64   // cycles to fetch everything
+	RetireTime   int64   // cycles to retire everything
+	FetchIPC     float64 // fetch throughput
+	RetireIPC    float64 // retire throughput
+	Sections     int64   // sections created
+}
+
+// Table returns the scaling table for n = 0..maxN.
+func Table(maxN int) []Row {
+	rows := make([]Row, 0, maxN+1)
+	for n := 0; n <= maxN; n++ {
+		rows = append(rows, Row{
+			N:            n,
+			Elements:     Elements(n),
+			Instructions: Instructions(n),
+			FetchTime:    FetchTime(n),
+			RetireTime:   RetireTime(n),
+			FetchIPC:     FetchIPC(n),
+			RetireIPC:    RetireIPC(n),
+			Sections:     Sections(n),
+		})
+	}
+	return rows
+}

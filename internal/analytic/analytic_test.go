@@ -1,0 +1,111 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPaperCalibrationPoints checks every number Section 5 states explicitly.
+func TestPaperCalibrationPoints(t *testing.T) {
+	// "i.e. 45 for sum(t,5), 104 for sum(t,10)"
+	if got := Instructions(0); got != 45 {
+		t.Errorf("Instructions(0) = %d, want 45", got)
+	}
+	if got := Instructions(1); got != 104 {
+		t.Errorf("Instructions(1) = %d, want 104", got)
+	}
+	// "For 1280 elements, 15090 instructions"
+	if got := Elements(8); got != 1280 {
+		t.Errorf("Elements(8) = %d, want 1280", got)
+	}
+	if got := Instructions(8); got != 15090 {
+		t.Errorf("Instructions(8) = %d, want 15090", got)
+	}
+	// "The fetch time is 30 + 12n (i.e. 30 for sum(t,5), 42 for sum(t,10))"
+	if got := FetchTime(0); got != 30 {
+		t.Errorf("FetchTime(0) = %d, want 30", got)
+	}
+	if got := FetchTime(1); got != 42 {
+		t.Errorf("FetchTime(1) = %d, want 42", got)
+	}
+	// "...are fetched in 126 cycles, i.e. 120 instructions per cycle"
+	if got := FetchTime(8); got != 126 {
+		t.Errorf("FetchTime(8) = %d, want 126", got)
+	}
+	if got := FetchIPC(8); math.Abs(got-119.76) > 0.5 {
+		t.Errorf("FetchIPC(8) = %.2f, want ~120", got)
+	}
+	// "The retirement time is 43 + 15n. For 1280 elements, the 15090
+	// instructions are retired in 163 cycles, i.e. 92 instructions/cycle"
+	if got := RetireTime(0); got != 43 {
+		t.Errorf("RetireTime(0) = %d, want 43", got)
+	}
+	if got := RetireTime(8); got != 163 {
+		t.Errorf("RetireTime(8) = %d, want 163", got)
+	}
+	if got := RetireIPC(8); math.Abs(got-92.58) > 0.7 {
+		t.Errorf("RetireIPC(8) = %.2f, want ~92", got)
+	}
+	// "If the data size is doubled, the fetch time is 42 cycles (104
+	// instructions fetched, i.e. 2.5 instructions per cycle)"
+	if got := FetchIPC(1); math.Abs(got-104.0/42.0) > 1e-9 {
+		t.Errorf("FetchIPC(1) = %.2f, want %.2f", got, 104.0/42.0)
+	}
+}
+
+func TestSections(t *testing.T) {
+	// sum(t,5) runs as 5 sections (Fig. 4).
+	if got := Sections(0); got != 5 {
+		t.Errorf("Sections(0) = %d, want 5", got)
+	}
+	// Doubling the data size roughly doubles the sections: each internal
+	// node contributes two forks.
+	if got := Sections(1); got != 11 {
+		t.Errorf("Sections(1) = %d, want 11", got)
+	}
+	if got := Sections(2); got != 23 {
+		t.Errorf("Sections(2) = %d, want 23", got)
+	}
+}
+
+func TestTableMonotonicity(t *testing.T) {
+	rows := Table(10)
+	if len(rows) != 11 {
+		t.Fatalf("table has %d rows, want 11", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		prev, cur := rows[i-1], rows[i]
+		if cur.Instructions <= prev.Instructions {
+			t.Errorf("row %d: instructions did not grow", i)
+		}
+		if cur.FetchTime-prev.FetchTime != 12 {
+			t.Errorf("row %d: fetch time step = %d, want 12", i, cur.FetchTime-prev.FetchTime)
+		}
+		if cur.RetireTime-prev.RetireTime != 15 {
+			t.Errorf("row %d: retire time step = %d, want 15", i, cur.RetireTime-prev.RetireTime)
+		}
+		if cur.FetchIPC <= prev.FetchIPC {
+			t.Errorf("row %d: fetch IPC did not grow", i)
+		}
+		if cur.RetireIPC <= prev.RetireIPC {
+			t.Errorf("row %d: retire IPC did not grow", i)
+		}
+	}
+	// Fetch always completes before retirement.
+	for _, r := range rows {
+		if r.FetchTime >= r.RetireTime {
+			t.Errorf("n=%d: fetch %d not < retire %d", r.N, r.FetchTime, r.RetireTime)
+		}
+	}
+}
+
+// TestInstructionFormulaRecurrence: the closed form satisfies the tree
+// recurrence I(n) = 2·I(n−1) + 14 (an internal node adds 14 instructions and
+// two half-size subtrees).
+func TestInstructionFormulaRecurrence(t *testing.T) {
+	for n := 1; n <= 20; n++ {
+		if Instructions(n) != 2*Instructions(n-1)+14 {
+			t.Errorf("recurrence fails at n=%d", n)
+		}
+	}
+}

@@ -1,0 +1,495 @@
+// Package emu implements the functional (sequential) emulator for the ISA.
+//
+// It serves three roles in the reproduction:
+//
+//  1. Reference semantics: every program — mini-C output, hand-written
+//     listings, PBBS kernels — is validated here before any ILP analysis or
+//     machine simulation.
+//  2. Trace capture: a hook records the dynamic trace (register and memory
+//     read/write sets per instruction) consumed by the internal/ilp models
+//     that regenerate the paper's Fig. 7.
+//  3. Sequential execution of fork programs: fork/endfork are executed with
+//     their *sequential-trace* semantics (the section total order of §2),
+//     which makes the emulator the functional oracle for the many-core
+//     machine simulator. A fork behaves as "continue into the callee now,
+//     resume the continuation at endfork with the non-volatile registers
+//     copied at the fork" — exactly the register-transfer the paper's
+//     section-creation message performs.
+package emu
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// NonVolatile is the set of registers a fork copies to the created section
+// (the paper's §4.1: "the stack pointer and the set of non volatile
+// registers"; the paper's own example also copies rdi and rsi, so the
+// reproduction includes them).
+var NonVolatile = []isa.Reg{isa.RBX, isa.RBP, isa.RSP, isa.RSI, isa.RDI, isa.R12, isa.R13, isa.R14, isa.R15}
+
+// IsNonVolatile reports whether r is in the fork-copied register set.
+func IsNonVolatile(r isa.Reg) bool {
+	for _, nv := range NonVolatile {
+		if nv == r {
+			return true
+		}
+	}
+	return false
+}
+
+const pageBits = 12
+const pageSize = 1 << pageBits
+
+// Memory is a sparse, paged, byte-addressed 64-bit memory.
+type Memory struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[pageSize]byte)}
+}
+
+func (m *Memory) page(addr uint64, create bool) *[pageSize]byte {
+	pn := addr >> pageBits
+	p := m.pages[pn]
+	if p == nil && create {
+		p = new([pageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// ReadU64 reads the 8-byte little-endian word at addr. Unmapped bytes read
+// as zero.
+func (m *Memory) ReadU64(addr uint64) uint64 {
+	if off := addr & (pageSize - 1); off <= pageSize-8 {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		var v uint64
+		for i := uint64(0); i < 8; i++ {
+			v |= uint64(p[off+i]) << (8 * i)
+		}
+		return v
+	}
+	var v uint64
+	for i := uint64(0); i < 8; i++ {
+		v |= uint64(m.LoadByte(addr+i)) << (8 * i)
+	}
+	return v
+}
+
+// WriteU64 writes the 8-byte little-endian word v at addr.
+func (m *Memory) WriteU64(addr uint64, v uint64) {
+	if off := addr & (pageSize - 1); off <= pageSize-8 {
+		p := m.page(addr, true)
+		for i := uint64(0); i < 8; i++ {
+			p[off+i] = byte(v >> (8 * i))
+		}
+		return
+	}
+	for i := uint64(0); i < 8; i++ {
+		m.StoreByte(addr+i, byte(v>>(8*i)))
+	}
+}
+
+// LoadByte reads one byte; unmapped bytes read as zero.
+func (m *Memory) LoadByte(addr uint64) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&(pageSize-1)]
+}
+
+// StoreByte writes one byte.
+func (m *Memory) StoreByte(addr uint64, b byte) {
+	m.page(addr, true)[addr&(pageSize-1)] = b
+}
+
+// CopyIn writes buf at addr.
+func (m *Memory) CopyIn(addr uint64, buf []byte) {
+	for i, b := range buf {
+		m.StoreByte(addr+uint64(i), b)
+	}
+}
+
+// Fault describes an emulation error with its dynamic context.
+type Fault struct {
+	IP   int64
+	Seq  int64
+	Msg  string
+	Inst string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("emu: fault at ip=%d seq=%d (%s): %s", f.IP, f.Seq, f.Inst, f.Msg)
+}
+
+// forkFrame is the sequential-execution continuation saved by FORK.
+type forkFrame struct {
+	resumeIP int64
+	saved    [16]uint64 // snapshot of the non-volatile registers
+	level    int32
+	isCall   bool // true when the frame models CALL/RET, false for FORK/ENDFORK
+}
+
+// CPU is the emulator state.
+type CPU struct {
+	Prog  *isa.Program
+	Regs  [isa.NumRegs]uint64
+	IP    int64
+	Mem   *Memory
+	Steps int64
+
+	// TraceHook, when set, receives every retired instruction's record.
+	TraceHook func(*trace.Record)
+
+	// MaxSteps bounds the run; 0 means the default (256M).
+	MaxSteps int64
+
+	level     int32
+	forkStack []forkFrame
+	halted    bool
+
+	regReadBuf  []isa.Reg
+	regWriteBuf []isa.Reg
+}
+
+// New prepares a CPU to run prog from its entry point, with the data segment
+// loaded and the stack pointer initialised.
+func New(prog *isa.Program) *CPU {
+	c := &CPU{Prog: prog, Mem: NewMemory()}
+	c.Mem.CopyIn(isa.DataBase, prog.Data)
+	c.Regs[isa.RSP] = isa.StackTop
+	c.IP = prog.Entry
+	return c
+}
+
+// Halted reports whether the program has finished.
+func (c *CPU) Halted() bool { return c.halted }
+
+// Result returns the conventional program result (rax at halt).
+func (c *CPU) Result() uint64 { return c.Regs[isa.RAX] }
+
+// Run executes until HLT or the step bound. It returns the step count.
+func (c *CPU) Run() (int64, error) {
+	max := c.MaxSteps
+	if max == 0 {
+		max = 256 << 20
+	}
+	for !c.halted {
+		if c.Steps >= max {
+			return c.Steps, &Fault{IP: c.IP, Seq: c.Steps, Msg: fmt.Sprintf("step limit %d exceeded", max)}
+		}
+		if err := c.Step(); err != nil {
+			return c.Steps, err
+		}
+	}
+	return c.Steps, nil
+}
+
+func (c *CPU) fault(in *isa.Instruction, msg string) error {
+	return &Fault{IP: c.IP, Seq: c.Steps, Msg: msg, Inst: in.String()}
+}
+
+// effAddr computes the effective address of a memory operand.
+func (c *CPU) effAddr(o *isa.Operand) uint64 {
+	a := uint64(o.Imm)
+	if o.Base != isa.NoReg {
+		a += c.Regs[o.Base]
+	}
+	if o.Index != isa.NoReg {
+		a += c.Regs[o.Index] * uint64(o.Scale)
+	}
+	return a
+}
+
+// Step executes one instruction.
+func (c *CPU) Step() error {
+	if c.halted {
+		return nil
+	}
+	if c.IP < 0 || c.IP >= int64(len(c.Prog.Text)) {
+		return &Fault{IP: c.IP, Seq: c.Steps, Msg: "instruction fetch out of text segment"}
+	}
+	in := &c.Prog.Text[c.IP]
+
+	var rec *trace.Record
+	if c.TraceHook != nil {
+		rec = &trace.Record{Seq: c.Steps, IP: c.IP, Op: in.Op, CallLevel: c.level}
+		c.regReadBuf = in.RegReads(c.regReadBuf[:0])
+		c.regWriteBuf = in.RegWrites(c.regWriteBuf[:0])
+		if len(c.regReadBuf) > 0 {
+			rec.RegReads = append([]isa.Reg(nil), c.regReadBuf...)
+		}
+		if len(c.regWriteBuf) > 0 {
+			rec.RegWrites = append([]isa.Reg(nil), c.regWriteBuf...)
+		}
+		if mo, ok := in.MemRead(); ok {
+			a := c.effAddr(&mo)
+			if in.Op == isa.POP || in.Op == isa.RET {
+				a = c.Regs[isa.RSP]
+			}
+			rec.MemReads = []trace.MemRef{{Addr: a}}
+		}
+		if mo, ok := in.MemWrite(); ok {
+			a := c.effAddr(&mo)
+			rec.MemWrites = []trace.MemRef{{Addr: a}}
+		}
+	}
+
+	next := c.IP + 1
+	taken := false
+
+	readSrc := func(o *isa.Operand) uint64 {
+		switch o.Kind {
+		case isa.KindReg:
+			return c.Regs[o.Reg]
+		case isa.KindImm:
+			return uint64(o.Imm)
+		case isa.KindMem:
+			return c.Mem.ReadU64(c.effAddr(o))
+		}
+		return 0
+	}
+	readDst := func(o *isa.Operand) uint64 {
+		switch o.Kind {
+		case isa.KindReg:
+			return c.Regs[o.Reg]
+		case isa.KindMem:
+			return c.Mem.ReadU64(c.effAddr(o))
+		}
+		return 0
+	}
+	writeDst := func(o *isa.Operand, v uint64) {
+		switch o.Kind {
+		case isa.KindReg:
+			c.Regs[o.Reg] = v
+		case isa.KindMem:
+			c.Mem.WriteU64(c.effAddr(o), v)
+		}
+	}
+
+	switch in.Op {
+	case isa.NOP:
+
+	case isa.MOV:
+		writeDst(&in.Dst, readSrc(&in.Src))
+
+	case isa.LEA:
+		if in.Src.Kind != isa.KindMem || in.Dst.Kind != isa.KindReg {
+			return c.fault(in, "leaq needs mem source and reg destination")
+		}
+		c.Regs[in.Dst.Reg] = c.effAddr(&in.Src)
+
+	case isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.IMUL, isa.SHL, isa.SHR, isa.SAR:
+		a := readDst(&in.Dst)
+		b := readSrc(&in.Src)
+		var r uint64
+		switch in.Op {
+		case isa.ADD:
+			r = a + b
+			c.setFlagsAdd(a, b, r)
+		case isa.SUB:
+			r = a - b
+			c.setFlagsSub(a, b, r)
+		case isa.AND:
+			r = a & b
+			c.setFlagsLogic(r)
+		case isa.OR:
+			r = a | b
+			c.setFlagsLogic(r)
+		case isa.XOR:
+			r = a ^ b
+			c.setFlagsLogic(r)
+		case isa.IMUL:
+			r = uint64(int64(a) * int64(b))
+		case isa.SHL:
+			r = a << (b & 63)
+			c.setFlagsLogic(r)
+		case isa.SHR:
+			r = a >> (b & 63)
+			c.setFlagsLogic(r)
+		case isa.SAR:
+			r = uint64(int64(a) >> (b & 63))
+			c.setFlagsLogic(r)
+		}
+		writeDst(&in.Dst, r)
+
+	case isa.NEG:
+		v := readDst(&in.Dst)
+		r := -v
+		c.setFlagsSub(0, v, r)
+		writeDst(&in.Dst, r)
+	case isa.NOT:
+		writeDst(&in.Dst, ^readDst(&in.Dst))
+	case isa.INC:
+		v := readDst(&in.Dst)
+		r := v + 1
+		c.setFlagsAdd(v, 1, r)
+		writeDst(&in.Dst, r)
+	case isa.DEC:
+		v := readDst(&in.Dst)
+		r := v - 1
+		c.setFlagsSub(v, 1, r)
+		writeDst(&in.Dst, r)
+
+	case isa.CQTO:
+		c.Regs[isa.RDX] = uint64(int64(c.Regs[isa.RAX]) >> 63)
+
+	case isa.DIV:
+		d := readDst(&in.Dst)
+		if d == 0 {
+			return c.fault(in, "division by zero")
+		}
+		if c.Regs[isa.RDX] != 0 {
+			// 128-bit dividends are out of scope for the reproduction's
+			// workloads; mini-C always clears rdx first.
+			return c.fault(in, "divq with non-zero rdx (128-bit dividend unsupported)")
+		}
+		q := c.Regs[isa.RAX] / d
+		r := c.Regs[isa.RAX] % d
+		c.Regs[isa.RAX], c.Regs[isa.RDX] = q, r
+
+	case isa.IDIV:
+		d := int64(readDst(&in.Dst))
+		if d == 0 {
+			return c.fault(in, "division by zero")
+		}
+		num := int64(c.Regs[isa.RAX])
+		if int64(c.Regs[isa.RDX]) != num>>63 {
+			return c.fault(in, "idivq with rdx not the sign extension of rax")
+		}
+		c.Regs[isa.RAX] = uint64(num / d)
+		c.Regs[isa.RDX] = uint64(num % d)
+
+	case isa.CMP:
+		a := readDst(&in.Dst)
+		b := readSrc(&in.Src)
+		c.setFlagsSub(a, b, a-b)
+	case isa.TEST:
+		c.setFlagsLogic(readDst(&in.Dst) & readSrc(&in.Src))
+
+	case isa.SETcc:
+		v := uint64(0)
+		if in.Cond.Eval(isa.FlagsVal(c.Regs[isa.Flags])) {
+			v = 1
+		}
+		writeDst(&in.Dst, v)
+
+	case isa.PUSH:
+		v := readSrc(&in.Src)
+		c.Regs[isa.RSP] -= 8
+		c.Mem.WriteU64(c.Regs[isa.RSP], v)
+		if rec != nil {
+			rec.MemWrites = []trace.MemRef{{Addr: c.Regs[isa.RSP]}}
+		}
+	case isa.POP:
+		v := c.Mem.ReadU64(c.Regs[isa.RSP])
+		c.Regs[isa.RSP] += 8
+		writeDst(&in.Dst, v)
+
+	case isa.JMP:
+		next = in.Target
+		taken = true
+	case isa.Jcc:
+		if in.Cond.Eval(isa.FlagsVal(c.Regs[isa.Flags])) {
+			next = in.Target
+			taken = true
+		}
+	case isa.CALL:
+		c.Regs[isa.RSP] -= 8
+		c.Mem.WriteU64(c.Regs[isa.RSP], uint64(c.IP+1))
+		if rec != nil {
+			rec.MemWrites = []trace.MemRef{{Addr: c.Regs[isa.RSP]}}
+		}
+		next = in.Target
+		taken = true
+		c.level++
+	case isa.RET:
+		ra := c.Mem.ReadU64(c.Regs[isa.RSP])
+		c.Regs[isa.RSP] += 8
+		next = int64(ra)
+		taken = true
+		if c.level > 0 {
+			c.level--
+		}
+
+	case isa.FORK:
+		var f forkFrame
+		f.resumeIP = c.IP + 1
+		f.level = c.level
+		for _, r := range NonVolatile {
+			f.saved[r] = c.Regs[r]
+		}
+		c.forkStack = append(c.forkStack, f)
+		next = in.Target
+		taken = true
+		c.level++
+	case isa.ENDFORK:
+		if len(c.forkStack) == 0 {
+			c.halted = true
+			taken = true
+			break
+		}
+		f := c.forkStack[len(c.forkStack)-1]
+		c.forkStack = c.forkStack[:len(c.forkStack)-1]
+		for _, r := range NonVolatile {
+			c.Regs[r] = f.saved[r]
+		}
+		next = f.resumeIP
+		c.level = f.level
+		taken = true
+
+	case isa.HLT:
+		c.halted = true
+
+	default:
+		return c.fault(in, "unimplemented opcode")
+	}
+
+	if rec != nil {
+		rec.Taken = taken
+		c.TraceHook(rec)
+	}
+	c.Steps++
+	if !c.halted {
+		c.IP = next
+	}
+	return nil
+}
+
+func (c *CPU) setFlagsSub(a, b, r uint64) {
+	c.Regs[isa.Flags] = uint64(isa.FlagsSub(a, b, r))
+}
+
+func (c *CPU) setFlagsAdd(a, b, r uint64) {
+	c.Regs[isa.Flags] = uint64(isa.FlagsAdd(a, b, r))
+}
+
+func (c *CPU) setFlagsLogic(r uint64) {
+	c.Regs[isa.Flags] = uint64(isa.FlagsLogic(r))
+}
+
+// RunTraced runs prog to completion with trace capture and returns the trace
+// and the final CPU (for result/memory inspection).
+func RunTraced(prog *isa.Program) (*trace.Trace, *CPU, error) {
+	c := New(prog)
+	t := &trace.Trace{}
+	c.TraceHook = func(r *trace.Record) { t.Append(*r) }
+	_, err := c.Run()
+	return t, c, err
+}
+
+// RunProgram runs prog to completion without tracing and returns the final CPU.
+func RunProgram(prog *isa.Program) (*CPU, error) {
+	c := New(prog)
+	_, err := c.Run()
+	return c, err
+}

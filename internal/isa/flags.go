@@ -1,0 +1,51 @@
+package isa
+
+// FlagsSub returns the condition flags of a - b with result r (the semantics
+// of sub/cmp/neg/dec).
+func FlagsSub(a, b, r uint64) FlagsVal {
+	var f FlagsVal
+	if r == 0 {
+		f |= FlagZ
+	}
+	if int64(r) < 0 {
+		f |= FlagS
+	}
+	if a < b {
+		f |= FlagC
+	}
+	if (int64(a) < 0) != (int64(b) < 0) && (int64(r) < 0) != (int64(a) < 0) {
+		f |= FlagO
+	}
+	return f
+}
+
+// FlagsAdd returns the condition flags of a + b with result r.
+func FlagsAdd(a, b, r uint64) FlagsVal {
+	var f FlagsVal
+	if r == 0 {
+		f |= FlagZ
+	}
+	if int64(r) < 0 {
+		f |= FlagS
+	}
+	if r < a {
+		f |= FlagC
+	}
+	if (int64(a) < 0) == (int64(b) < 0) && (int64(r) < 0) != (int64(a) < 0) {
+		f |= FlagO
+	}
+	return f
+}
+
+// FlagsLogic returns the condition flags of a logical result r
+// (and/or/xor/test/shifts): carry and overflow cleared.
+func FlagsLogic(r uint64) FlagsVal {
+	var f FlagsVal
+	if r == 0 {
+		f |= FlagZ
+	}
+	if int64(r) < 0 {
+		f |= FlagS
+	}
+	return f
+}

@@ -1,0 +1,356 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegNames(t *testing.T) {
+	cases := map[Reg]string{
+		RAX: "rax", RBX: "rbx", RCX: "rcx", RDX: "rdx",
+		RSP: "rsp", RBP: "rbp", RSI: "rsi", RDI: "rdi",
+		R8: "r8", R15: "r15", Flags: "flags",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Reg(%d).String() = %q, want %q", r, got, want)
+		}
+		back, ok := ParseReg(want)
+		if !ok || back != r {
+			t.Errorf("ParseReg(%q) = %v, %v; want %v, true", want, back, ok, r)
+		}
+	}
+	if _, ok := ParseReg("xmm0"); ok {
+		t.Error("ParseReg accepted xmm0")
+	}
+}
+
+func TestCondEval(t *testing.T) {
+	type tc struct {
+		a, b uint64 // flags from a - b
+	}
+	cases := []tc{
+		{5, 5}, {5, 2}, {2, 5}, {0, 1}, {1, 0},
+		{^uint64(0), 1}, {1, ^uint64(0)},
+		{1 << 63, 1}, {0x7fffffffffffffff, ^uint64(0)},
+	}
+	sub := func(a, b uint64) FlagsVal {
+		r := a - b
+		var f FlagsVal
+		if r == 0 {
+			f |= FlagZ
+		}
+		if int64(r) < 0 {
+			f |= FlagS
+		}
+		if a < b {
+			f |= FlagC
+		}
+		if (int64(a) < 0) != (int64(b) < 0) && (int64(r) < 0) != (int64(a) < 0) {
+			f |= FlagO
+		}
+		return f
+	}
+	for _, c := range cases {
+		f := sub(c.a, c.b)
+		checks := map[Cond]bool{
+			CondE:  c.a == c.b,
+			CondNE: c.a != c.b,
+			CondA:  c.a > c.b,
+			CondAE: c.a >= c.b,
+			CondB:  c.a < c.b,
+			CondBE: c.a <= c.b,
+			CondG:  int64(c.a) > int64(c.b),
+			CondGE: int64(c.a) >= int64(c.b),
+			CondL:  int64(c.a) < int64(c.b),
+			CondLE: int64(c.a) <= int64(c.b),
+		}
+		for cc, want := range checks {
+			if got := cc.Eval(f); got != want {
+				t.Errorf("cmp(%d,%d): cond %s = %v, want %v", c.a, c.b, cc, got, want)
+			}
+		}
+	}
+}
+
+func TestCondEvalQuick(t *testing.T) {
+	// Property: every unsigned/signed comparison condition agrees with the
+	// direct Go comparison, for random operands.
+	f := func(a, b uint64) bool {
+		r := a - b
+		var fl FlagsVal
+		if r == 0 {
+			fl |= FlagZ
+		}
+		if int64(r) < 0 {
+			fl |= FlagS
+		}
+		if a < b {
+			fl |= FlagC
+		}
+		if (int64(a) < 0) != (int64(b) < 0) && (int64(r) < 0) != (int64(a) < 0) {
+			fl |= FlagO
+		}
+		return CondA.Eval(fl) == (a > b) &&
+			CondB.Eval(fl) == (a < b) &&
+			CondAE.Eval(fl) == (a >= b) &&
+			CondBE.Eval(fl) == (a <= b) &&
+			CondG.Eval(fl) == (int64(a) > int64(b)) &&
+			CondL.Eval(fl) == (int64(a) < int64(b)) &&
+			CondGE.Eval(fl) == (int64(a) >= int64(b)) &&
+			CondLE.Eval(fl) == (int64(a) <= int64(b)) &&
+			CondE.Eval(fl) == (a == b) &&
+			CondNE.Eval(fl) == (a != b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOperandString(t *testing.T) {
+	cases := []struct {
+		o    Operand
+		want string
+	}{
+		{RegOp(RAX), "%rax"},
+		{ImmOp(42), "$42"},
+		{ImmOp(-8), "$-8"},
+		{MemBase(0, RSP), "(%rsp)"},
+		{MemBase(8, RDI), "8(%rdi)"},
+		{MemBase(-16, RBP), "-16(%rbp)"},
+		{MemOp(0, RDI, RSI, 8), "(%rdi,%rsi,8)"},
+		{MemOp(24, RAX, RCX, 4), "24(%rax,%rcx,4)"},
+	}
+	for _, c := range cases {
+		if got := c.o.String(); got != c.want {
+			t.Errorf("Operand.String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestInstructionString(t *testing.T) {
+	cases := []struct {
+		in   Instruction
+		want string
+	}{
+		{Instruction{Op: MOV, Src: MemBase(0, RDI), Dst: RegOp(RAX)}, "movq (%rdi), %rax"},
+		{Instruction{Op: CMP, Src: ImmOp(2), Dst: RegOp(RSI)}, "cmpq $2, %rsi"},
+		{Instruction{Op: Jcc, Cond: CondA, Label: ".L2"}, "ja .L2"},
+		{Instruction{Op: RET}, "ret"},
+		{Instruction{Op: FORK, Label: "sum"}, "fork sum"},
+		{Instruction{Op: ENDFORK}, "endfork"},
+		{Instruction{Op: PUSH, Src: RegOp(RBX)}, "pushq %rbx"},
+		{Instruction{Op: POP, Dst: RegOp(RBX)}, "popq %rbx"},
+		{Instruction{Op: LEA, Src: MemOp(0, RDI, RSI, 8), Dst: RegOp(RDI)}, "leaq (%rdi,%rsi,8), %rdi"},
+		{Instruction{Op: SETcc, Cond: CondE, Dst: RegOp(RAX)}, "sete %rax"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Instruction.String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		in   Instruction
+		want Class
+	}{
+		{Instruction{Op: ADD, Src: RegOp(RBX), Dst: RegOp(RAX)}, ClassSimple},
+		{Instruction{Op: ADD, Src: MemBase(0, RSP), Dst: RegOp(RAX)}, ClassLoad},
+		{Instruction{Op: MOV, Src: RegOp(RAX), Dst: MemBase(0, RSP)}, ClassStore},
+		{Instruction{Op: PUSH, Src: RegOp(RBX)}, ClassStore},
+		{Instruction{Op: POP, Dst: RegOp(RBX)}, ClassLoad},
+		{Instruction{Op: IMUL, Src: RegOp(RBX), Dst: RegOp(RAX)}, ClassComplex},
+		{Instruction{Op: DIV, Dst: RegOp(RCX)}, ClassComplex},
+		{Instruction{Op: Jcc, Cond: CondA}, ClassControl},
+		{Instruction{Op: FORK}, ClassControl},
+		{Instruction{Op: ENDFORK}, ClassControl},
+		{Instruction{Op: LEA, Src: MemOp(0, RDI, RSI, 8), Dst: RegOp(RDI)}, ClassSimple},
+	}
+	for _, c := range cases {
+		if got := c.in.Classify(); got != c.want {
+			t.Errorf("%s: Classify() = %d, want %d", c.in.String(), got, c.want)
+		}
+	}
+}
+
+func TestRegReadsWrites(t *testing.T) {
+	has := func(rs []Reg, r Reg) bool {
+		for _, x := range rs {
+			if x == r {
+				return true
+			}
+		}
+		return false
+	}
+	// cmpq $2, %rsi reads rsi, writes flags.
+	cmp := Instruction{Op: CMP, Src: ImmOp(2), Dst: RegOp(RSI)}
+	if r := cmp.RegReads(nil); !has(r, RSI) || has(r, Flags) {
+		t.Errorf("cmp reads = %v", r)
+	}
+	if w := cmp.RegWrites(nil); !has(w, Flags) || len(w) != 1 {
+		t.Errorf("cmp writes = %v", w)
+	}
+	// ja reads flags, writes nothing.
+	ja := Instruction{Op: Jcc, Cond: CondA}
+	if r := ja.RegReads(nil); !has(r, Flags) {
+		t.Errorf("ja reads = %v", r)
+	}
+	if w := ja.RegWrites(nil); len(w) != 0 {
+		t.Errorf("ja writes = %v", w)
+	}
+	// leaq (%rdi,%rsi,8), %rdi reads rdi+rsi, writes rdi, no flags.
+	lea := Instruction{Op: LEA, Src: MemOp(0, RDI, RSI, 8), Dst: RegOp(RDI)}
+	if r := lea.RegReads(nil); !has(r, RDI) || !has(r, RSI) {
+		t.Errorf("lea reads = %v", r)
+	}
+	if w := lea.RegWrites(nil); !has(w, RDI) || has(w, Flags) {
+		t.Errorf("lea writes = %v", w)
+	}
+	// pushq %rbx reads rsp+rbx, writes rsp, stores memory.
+	push := Instruction{Op: PUSH, Src: RegOp(RBX)}
+	if r := push.RegReads(nil); !has(r, RSP) || !has(r, RBX) {
+		t.Errorf("push reads = %v", r)
+	}
+	if w := push.RegWrites(nil); !has(w, RSP) {
+		t.Errorf("push writes = %v", w)
+	}
+	if _, ok := push.MemWrite(); !ok {
+		t.Error("push should write memory")
+	}
+	// popq %rbx reads rsp+mem, writes rsp and rbx.
+	pop := Instruction{Op: POP, Dst: RegOp(RBX)}
+	if w := pop.RegWrites(nil); !has(w, RSP) || !has(w, RBX) {
+		t.Errorf("pop writes = %v", w)
+	}
+	if _, ok := pop.MemRead(); !ok {
+		t.Error("pop should read memory")
+	}
+	// divq %rcx reads rax,rdx,rcx; writes rax,rdx.
+	div := Instruction{Op: DIV, Dst: RegOp(RCX)}
+	if r := div.RegReads(nil); !has(r, RAX) || !has(r, RDX) || !has(r, RCX) {
+		t.Errorf("div reads = %v", r)
+	}
+	if w := div.RegWrites(nil); !has(w, RAX) || !has(w, RDX) {
+		t.Errorf("div writes = %v", w)
+	}
+	// addq 0(%rsp), %rax is a load that also reads rax.
+	addm := Instruction{Op: ADD, Src: MemBase(0, RSP), Dst: RegOp(RAX)}
+	if r := addm.RegReads(nil); !has(r, RSP) || !has(r, RAX) {
+		t.Errorf("addq mem reads = %v", r)
+	}
+	if _, ok := addm.MemRead(); !ok {
+		t.Error("addq 0(%rsp), %rax should read memory")
+	}
+	// movq %rax, 0(%rsp) stores but does not load.
+	st := Instruction{Op: MOV, Src: RegOp(RAX), Dst: MemBase(0, RSP)}
+	if _, ok := st.MemRead(); ok {
+		t.Error("store mov should not read memory")
+	}
+	if _, ok := st.MemWrite(); !ok {
+		t.Error("store mov should write memory")
+	}
+	// addq %rbx, 0(%rsp) is read-modify-write memory.
+	rmw := Instruction{Op: ADD, Src: RegOp(RBX), Dst: MemBase(0, RSP)}
+	if _, ok := rmw.MemRead(); !ok {
+		t.Error("rmw add should read memory")
+	}
+	if _, ok := rmw.MemWrite(); !ok {
+		t.Error("rmw add should write memory")
+	}
+}
+
+func randOperand(r *rand.Rand, allowImm bool) Operand {
+	switch k := r.Intn(3); {
+	case k == 0:
+		return RegOp(Reg(r.Intn(int(Flags))))
+	case k == 1 && allowImm:
+		return ImmOp(int64(r.Uint64()))
+	default:
+		base := Reg(r.Intn(int(Flags)))
+		idx := NoReg
+		scale := uint8(1)
+		if r.Intn(2) == 0 {
+			idx = Reg(r.Intn(int(Flags)))
+			scale = []uint8{1, 2, 4, 8}[r.Intn(4)]
+		}
+		return MemOp(int64(int32(r.Uint32())), base, idx, scale)
+	}
+}
+
+func TestProgramEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 50; iter++ {
+		p := NewProgram()
+		n := r.Intn(200)
+		for i := 0; i < n; i++ {
+			var in Instruction
+			in.Op = Op(r.Intn(int(NumOps)))
+			in.Cond = Cond(r.Intn(int(NumConds)))
+			in.Src = randOperand(r, true)
+			in.Dst = randOperand(r, false)
+			in.Target = int64(r.Intn(1000))
+			p.Text = append(p.Text, in)
+		}
+		p.Data = make([]byte, r.Intn(256))
+		r.Read(p.Data)
+		p.Labels["main"] = 0
+		p.Labels[".L1"] = int64(r.Intn(n + 1))
+		p.DataSyms["t"] = DataBase
+		p.Entry = int64(r.Intn(n + 1))
+
+		enc := p.Encode()
+		q, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("iter %d: Decode: %v", iter, err)
+		}
+		if len(q.Text) != len(p.Text) {
+			t.Fatalf("iter %d: text length %d != %d", iter, len(q.Text), len(p.Text))
+		}
+		for i := range p.Text {
+			a, b := p.Text[i], q.Text[i]
+			// Label and Sym are presentation-only and not serialised.
+			a.Label, b.Label = "", ""
+			a.Src.Sym, b.Src.Sym = "", ""
+			a.Dst.Sym, b.Dst.Sym = "", ""
+			if a != b {
+				t.Fatalf("iter %d: instruction %d: %+v != %+v", iter, i, a, b)
+			}
+		}
+		if string(q.Data) != string(p.Data) {
+			t.Fatalf("iter %d: data mismatch", iter)
+		}
+		if q.Entry != p.Entry {
+			t.Fatalf("iter %d: entry %d != %d", iter, q.Entry, p.Entry)
+		}
+		for k, v := range p.Labels {
+			if q.Labels[k] != v {
+				t.Fatalf("iter %d: label %q: %d != %d", iter, k, q.Labels[k], v)
+			}
+		}
+		for k, v := range p.DataSyms {
+			if q.DataSyms[k] != v {
+				t.Fatalf("iter %d: datasym %q: %d != %d", iter, k, q.DataSyms[k], v)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("Decode(nil) succeeded")
+	}
+	if _, err := Decode([]byte("XXXX")); err == nil {
+		t.Error("Decode(bad magic) succeeded")
+	}
+	p := NewProgram()
+	p.Text = []Instruction{{Op: RET}}
+	enc := p.Encode()
+	for cut := 5; cut < len(enc); cut += 3 {
+		if _, err := Decode(enc[:cut]); err == nil {
+			t.Errorf("Decode(truncated %d) succeeded", cut)
+		}
+	}
+}

@@ -1,0 +1,479 @@
+// Package machine implements a cycle-level simulator of the paper's core
+// design and many-core execution model (Section 4):
+//
+//   - per-core six-stage pipeline: fetch-decode-&-partly-execute,
+//     register-rename, execute-write-back, address-rename, memory-access,
+//     retire — each stage handles one instruction per cycle;
+//   - fork/endfork section management with the totally ordered section list
+//     (a fork inserts the created continuation section immediately after the
+//     creating section, which itself continues into the callee);
+//   - distributed register renaming: a source that cannot be renamed locally
+//     triggers a request that travels backwards along the section order until
+//     a producer (or a cached copy) is found, and the value travels back;
+//   - memory renaming through a per-section Memory Address Alias Table
+//     (MAAT), with the call-level shortcut for positive-rsp-offset addresses;
+//   - parallel retirement: each section retires in order independently; the
+//     oldest section dumps its renamings to the data memory hierarchy (DMH).
+//
+// The simulator executes fork programs (no call/ret) and is validated
+// against the sequential emulator: same final rax and same final memory.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/noc"
+)
+
+// Config parameterises the machine.
+type Config struct {
+	// Cores is the number of cores. Must be >= 1.
+	Cores int
+	// Net is the on-chip network used to charge message latencies between
+	// cores. Defaults to an ideal crossbar with hop latency 1, which
+	// reproduces the paper's "3 cycles to reach the producer and return"
+	// accounting of Fig. 10.
+	Net noc.Network
+	// CreateLatency is the section-creation message latency in cycles
+	// (paper footnote 7: "the creation time of the forked section
+	// (2 cycles)"). Defaults to 2.
+	CreateLatency int64
+	// Shortcut enables the call-level shortcut for renaming requests whose
+	// address is rsp-based with a non-negative offset (§4.2). Default on
+	// via DefaultConfig; disable for the ablation bench.
+	Shortcut bool
+	// MaxSectionsPerCore caps how many live sections a core hosts before
+	// the host chooser avoids it; 0 means no preference cap. The cap is
+	// soft: if every core is at the cap the least loaded is used anyway.
+	MaxSectionsPerCore int
+	// StallLimit aborts the run when no architectural progress happens for
+	// this many cycles (deadlock detector). Defaults to 10000.
+	StallLimit int64
+	// MaxCycles aborts runs longer than this. Defaults to 100M.
+	MaxCycles int64
+}
+
+// DefaultConfig returns the paper-calibrated configuration.
+func DefaultConfig(cores int) Config {
+	return Config{
+		Cores:         cores,
+		CreateLatency: 2,
+		Shortcut:      true,
+	}
+}
+
+// val is a register value with a presence bit (the paper's full/empty bits).
+type val struct {
+	v    uint64
+	full bool
+}
+
+// producer is anything a renamed source can wait on: an in-flight
+// instruction's register result, a store's memory value, or a slot filled by
+// a remote renaming response or a fork register copy.
+type producer interface {
+	// readyAt returns the cycle the value became available, or -1 if not
+	// yet available. A consumer stage running at cycle c may use the value
+	// when readyAt() >= 0 && readyAt() < c.
+	readyAt() int64
+	value() uint64
+}
+
+// slot is a value container: fork-copied registers, renaming-request caches
+// (the paper's "destination d serves as a caching of the missing source"),
+// and remotely fetched memory words.
+type slot struct {
+	v  uint64
+	at int64 // -1 until filled
+}
+
+func newSlot() *slot { return &slot{at: -1} }
+
+func filledSlot(v uint64, at int64) *slot { return &slot{v: v, at: at} }
+
+func (s *slot) readyAt() int64 { return s.at }
+func (s *slot) value() uint64  { return s.v }
+func (s *slot) fill(v uint64, at int64) {
+	s.v = v
+	s.at = at
+}
+
+// regProd is an instruction's register result viewed as a producer.
+type regProd struct {
+	inst *DynInst
+	reg  isa.Reg
+}
+
+func (p regProd) readyAt() int64 {
+	if t, ok := p.inst.regAt[p.reg]; ok {
+		return t
+	}
+	return -1
+}
+func (p regProd) value() uint64 { return p.inst.regOut[p.reg] }
+
+// memProd is a store instruction's memory value viewed as a producer.
+type memProd struct {
+	inst *DynInst
+}
+
+func (p memProd) readyAt() int64 {
+	if p.inst.tMA == 0 {
+		return -1
+	}
+	return p.inst.tMA
+}
+func (p memProd) value() uint64 { return p.inst.storeVal }
+
+// srcRef is one resolved register source of an instruction.
+type srcRef struct {
+	reg  isa.Reg
+	prod producer
+	addr bool // true when the register only feeds the address computation
+}
+
+// DynInst is one dynamic instruction in flight.
+type DynInst struct {
+	Sec   *Section
+	Idx   int // ordinal within the section
+	IP    int64
+	In    *isa.Instruction
+	Level int32 // call level at this instruction
+
+	class           isa.Class
+	computedAtFetch bool
+	srcs            []srcRef
+	regOut          map[isa.Reg]uint64 // register results
+	regAt           map[isa.Reg]int64  // cycle each register result was ready
+
+	addr     uint64 // effective address (mem ops), set at EW
+	storeVal uint64 // store data, set at MA
+	memSrc   producer
+
+	// branch outcome, resolved at fetch or EW
+	taken    bool
+	nextIP   int64
+	resolved bool
+
+	// For fork instructions: the created section, and the non-volatile
+	// registers that were not computed at the fork point and must be
+	// linked to the creator's current producers at the rename stage.
+	createdSec  *Section
+	pendingCopy []isa.Reg
+
+	// Stage timestamps (0 = not yet / not applicable): fetch-decode,
+	// register-rename, execute-write-back, address-rename, memory-access,
+	// retire. These are the six columns of the paper's Fig. 10.
+	tFD, tRR, tEW, tAR, tMA, tRET int64
+}
+
+func (d *DynInst) isMem() bool { return d.class == isa.ClassLoad || d.class == isa.ClassStore }
+
+// done reports whether the instruction has produced everything it will.
+func (d *DynInst) done() bool {
+	if d.isMem() {
+		return d.tMA != 0
+	}
+	return d.tEW != 0
+}
+
+// Section is one instruction flow, created by a fork (or the initial flow).
+type Section struct {
+	ID        int64 // creation sequence number
+	Pos       int   // current position in the machine's total order
+	Core      int   // hosting core, -1 until the creation message is accepted
+	BaseLevel int32
+
+	Insts []*DynInst
+
+	rat  map[isa.Reg]producer // register alias table + caches + fork copies
+	maat map[uint64]producer  // memory address alias table (8-byte words)
+	arQ  []*DynInst           // memory ops awaiting in-order address renaming
+	init [isa.NumRegs]val     // creation-message register copies
+
+	startIP   int64
+	fetchDone bool
+	renamed   int // instructions past the rename stage
+	memOps    int // memory ops fetched
+	memRen    int // memory ops address-renamed
+	retired   int
+	dumped    bool
+
+	createdAt  int64 // fork fetch cycle
+	firstFetch int64
+	curLevel   int32 // fetch-time call level cursor
+	fetchIP    int64
+	stalled    *DynInst          // unresolved control instruction blocking fetch
+	rfSave     [isa.NumRegs]val  // fetch RF snapshot while suspended
+}
+
+func (s *Section) fullyRenamed() bool {
+	return s.fetchDone && s.renamed == len(s.Insts)
+}
+
+func (s *Section) memRenameDone() bool {
+	return s.fullyRenamed() && s.memRen == s.memOps
+}
+
+func (s *Section) fullyRetired() bool {
+	return s.fetchDone && s.retired == len(s.Insts)
+}
+
+// sectionMsg is the section-creation message a fork sends to a hosting core.
+type sectionMsg struct {
+	sec       *Section
+	deliverAt int64
+}
+
+// Core is one core's pipeline state.
+type Core struct {
+	id        int
+	rf        [isa.NumRegs]val // fetch-stage register file
+	fetch     *Section
+	pending   []sectionMsg // FIFO of section-creation messages
+	suspended []*Section   // stalled sections set aside to fetch pending ones
+	renameQ   []*DynInst
+	iq        []*DynInst // waiting execution
+	lsq       []*DynInst // waiting memory access
+	live      int        // hosted, not fully retired sections
+	fetched   int64      // statistics
+}
+
+// Machine is the whole chip.
+type Machine struct {
+	cfg   Config
+	prog  *isa.Program
+	cores []*Core
+	order []*Section // total section order (dumped sections retained)
+	byID  map[int64]*Section
+	reqs  []*request
+	dmh   *emu.Memory
+	arch  [isa.NumRegs]uint64
+
+	cycle     int64
+	nextSecID int64
+	rrHost    int // round-robin tiebreak for host choice
+	oldest    int // index into order of the first undumped section
+	progress  int64
+	lastMove  int64
+	hltSeen   bool
+	err       error // first fault (bad fetch, div by zero, ...)
+
+	pendingCreates   int
+	regReqs, memReqs int64
+}
+
+// DMH returns the data memory hierarchy (the committed memory), for
+// inspection after Run.
+func (m *Machine) DMH() *emu.Memory { return m.dmh }
+
+// New prepares a machine for prog.
+func New(prog *isa.Program, cfg Config) (*Machine, error) {
+	if cfg.Cores < 1 {
+		return nil, fmt.Errorf("machine: need at least one core")
+	}
+	if cfg.Net == nil {
+		cfg.Net = noc.NewCrossbar(cfg.Cores, 1)
+	}
+	if cfg.CreateLatency == 0 {
+		cfg.CreateLatency = 2
+	}
+	if cfg.StallLimit == 0 {
+		cfg.StallLimit = 10000
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 100 << 20
+	}
+	for i := range prog.Text {
+		switch prog.Text[i].Op {
+		case isa.CALL, isa.RET:
+			return nil, fmt.Errorf("machine: instruction %d is %s; the machine executes fork programs (use internal/forkify or mini-C -fork mode)", i, prog.Text[i].Op)
+		}
+	}
+	m := &Machine{cfg: cfg, prog: prog, byID: make(map[int64]*Section)}
+	for i := 0; i < cfg.Cores; i++ {
+		m.cores = append(m.cores, &Core{id: i})
+	}
+	m.dmh = emu.NewMemory()
+	m.dmh.CopyIn(isa.DataBase, prog.Data)
+	m.arch[isa.RSP] = isa.StackTop
+
+	// The initial section: all registers full with the entry state.
+	s := m.newSection(prog.Entry, 0, 0)
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		s.init[r] = val{v: m.arch[r], full: true}
+	}
+	m.order = append(m.order, s)
+	s.Pos = 0
+	m.assignHost(s, 0)
+	return m, nil
+}
+
+func (m *Machine) newSection(startIP int64, baseLevel int32, createdAt int64) *Section {
+	s := &Section{
+		ID:        m.nextSecID,
+		Core:      -1,
+		BaseLevel: baseLevel,
+		rat:       make(map[isa.Reg]producer),
+		maat:      make(map[uint64]producer),
+		startIP:   startIP,
+		fetchIP:   startIP,
+		curLevel:  baseLevel,
+		createdAt: createdAt,
+	}
+	m.nextSecID++
+	m.byID[s.ID] = s
+	return s
+}
+
+// insertAfter places created immediately after creator in the total order
+// (the paper's §2: "new sections are inserted in place in the list of
+// existing sections ... building the sequential trace of the run").
+func (m *Machine) insertAfter(creator, created *Section) {
+	at := creator.Pos + 1
+	m.order = append(m.order, nil)
+	copy(m.order[at+1:], m.order[at:])
+	m.order[at] = created
+	for i := at; i < len(m.order); i++ {
+		m.order[i].Pos = i
+	}
+}
+
+// prevOf returns the section immediately before s in the total order, or nil.
+func (m *Machine) prevOf(s *Section) *Section {
+	if s.Pos == 0 {
+		return nil
+	}
+	return m.order[s.Pos-1]
+}
+
+// nextOf returns the section immediately after s, or nil.
+func (m *Machine) nextOf(s *Section) *Section {
+	if s.Pos+1 >= len(m.order) {
+		return nil
+	}
+	return m.order[s.Pos+1]
+}
+
+// chooseHost picks the hosting core for a new section: the least loaded
+// core, round-robin on ties (the paper leaves load balancing out of scope).
+func (m *Machine) chooseHost() int {
+	best, bestLoad := -1, int(^uint(0)>>1)
+	n := len(m.cores)
+	for i := 0; i < n; i++ {
+		c := m.cores[(m.rrHost+i)%n]
+		load := c.live + len(c.pending)
+		if load < bestLoad {
+			best, bestLoad = c.id, load
+		}
+	}
+	m.rrHost = (best + 1) % n
+	return best
+}
+
+func (m *Machine) assignHost(s *Section, deliverAt int64) {
+	host := m.chooseHost()
+	s.Core = host
+	c := m.cores[host]
+	c.live++
+	c.pending = append(c.pending, sectionMsg{sec: s, deliverAt: deliverAt})
+	m.pendingCreates++
+}
+
+// Run simulates until completion and returns the result.
+func (m *Machine) Run() (*Result, error) {
+	for {
+		if m.err != nil {
+			return nil, m.err
+		}
+		if m.done() {
+			return m.result(), nil
+		}
+		m.cycle++
+		if m.cycle > m.cfg.MaxCycles {
+			return nil, fmt.Errorf("machine: exceeded %d cycles", m.cfg.MaxCycles)
+		}
+		before := m.progress
+		for _, c := range m.cores {
+			m.stageRetire(c)
+			m.stageMA(c)
+			m.stageAR(c)
+			m.stageEW(c)
+			m.stageRR(c)
+			m.stageFD(c)
+		}
+		m.processRequests()
+		m.dumpOldest()
+		if m.progress != before {
+			m.lastMove = m.cycle
+		} else if m.cycle-m.lastMove > m.cfg.StallLimit {
+			return nil, fmt.Errorf("machine: no progress for %d cycles at cycle %d: %s",
+				m.cfg.StallLimit, m.cycle, m.stuckReport())
+		}
+	}
+}
+
+func (m *Machine) done() bool {
+	if !m.hltSeen || m.pendingCreates > 0 {
+		return false
+	}
+	return m.oldest >= len(m.order)
+}
+
+// stuckReport summarises pipeline state for deadlock diagnostics.
+func (m *Machine) stuckReport() string {
+	s := ""
+	for _, sec := range m.order {
+		if sec.dumped {
+			continue
+		}
+		s += fmt.Sprintf("[sec %d core %d pos %d: %d insts fetchDone=%v renamed=%d retired=%d memRen=%d/%d stalled=%v] ",
+			sec.ID, sec.Core, sec.Pos, len(sec.Insts), sec.fetchDone, sec.renamed, sec.retired, sec.memRen, sec.memOps, sec.stalled != nil)
+	}
+	s += fmt.Sprintf("reqs=%d", len(m.reqs))
+	return s
+}
+
+// dumpOldest retires the oldest fully retired sections into the DMH and the
+// architectural register file (the paper's §4.2 footnote 6: "the oldest
+// section ... dumps its renamings to the data memory hierarchy").
+func (m *Machine) dumpOldest() {
+	for m.oldest < len(m.order) {
+		s := m.order[m.oldest]
+		if !s.fullyRetired() {
+			return
+		}
+		// A section with pending incoming requests keeps its tables until
+		// they are answered.
+		if m.hasRequestsAt(s) {
+			return
+		}
+		// Memory writes, in section order (last store to a word wins).
+		for _, d := range s.Insts {
+			if d.class == isa.ClassStore {
+				m.dmh.WriteU64(d.addr, d.storeVal)
+			}
+		}
+		// Register state: every renamed or cached register value.
+		for r := isa.Reg(0); r < isa.NumRegs; r++ {
+			if p, ok := s.rat[r]; ok && p.readyAt() >= 0 {
+				m.arch[r] = p.value()
+			}
+		}
+		s.dumped = true
+		m.cores[s.Core].live--
+		m.oldest++
+		m.progress++
+	}
+}
+
+func (m *Machine) hasRequestsAt(s *Section) bool {
+	for _, r := range m.reqs {
+		if r.target == s || r.from == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,489 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/asm"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/noc"
+	"repro/internal/progs"
+)
+
+// runBoth runs prog on the emulator (oracle) and on the machine with the
+// given core count, and checks result equivalence.
+func runBoth(t *testing.T, prog *isa.Program, cores int) (*emu.CPU, *Result) {
+	t.Helper()
+	cpu, err := emu.RunProgram(prog)
+	if err != nil {
+		t.Fatalf("emulator: %v", err)
+	}
+	r, err := RunProgram(prog, cores)
+	if err != nil {
+		t.Fatalf("machine (%d cores): %v", cores, err)
+	}
+	if r.RAX != cpu.Result() {
+		t.Fatalf("machine rax = %d, emulator rax = %d", r.RAX, cpu.Result())
+	}
+	return cpu, r
+}
+
+func TestSumCorrectAcrossCoresAndSizes(t *testing.T) {
+	for _, cores := range []int{1, 2, 3, 5, 8, 16} {
+		for _, size := range []int{1, 2, 3, 5, 10, 20, 40} {
+			p, err := progs.BuildSumFork(progs.Vector(size))
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, r := runBoth(t, p, cores)
+			if r.RAX != progs.VectorSum(size) {
+				t.Errorf("cores=%d size=%d: rax = %d, want %d", cores, size, r.RAX, progs.VectorSum(size))
+			}
+		}
+	}
+}
+
+// TestSumSections reproduces Fig. 4: sum(t,5) runs as 5 sections (plus the
+// driver's continuation section holding hlt).
+func TestSumSections(t *testing.T) {
+	for n := 0; n <= 4; n++ {
+		p, err := progs.BuildSumFork(progs.Vector(5 << uint(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := RunProgram(p, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := analytic.Sections(n) + 1 // + the driver's hlt continuation
+		if int64(len(r.Sections)) != want {
+			t.Errorf("n=%d: %d sections, want %d", n, len(r.Sections), want)
+		}
+	}
+}
+
+// TestSumInstructionCount: the machine fetches exactly the paper's dynamic
+// instruction count (45·2ⁿ + 14·(2ⁿ−1) plus the 4-instruction driver).
+func TestSumInstructionCount(t *testing.T) {
+	for n := 0; n <= 4; n++ {
+		p, err := progs.BuildSumFork(progs.Vector(5 << uint(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := RunProgram(p, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := analytic.Instructions(n) + 4; r.Instructions != want {
+			t.Errorf("n=%d: %d instructions, want %d", n, r.Instructions, want)
+		}
+	}
+}
+
+// TestSumLongestSection reproduces the Fig. 6 observation: for sum(t,5) the
+// longest sum section has 16 instructions.
+func TestSumLongestSection(t *testing.T) {
+	p, err := progs.BuildSumFork(progs.Vector(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RunProgram(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	longest := 0
+	for _, s := range r.Sections {
+		if s.Instructions > longest {
+			longest = s.Instructions
+		}
+	}
+	if longest != 16 {
+		t.Errorf("longest section = %d instructions, want 16 (paper Fig. 6 section 2)", longest)
+	}
+}
+
+func TestFibForkOnMachine(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 5, 8, 10} {
+		p, err := progs.BuildFibFork(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, r := runBoth(t, p, 8)
+		if r.RAX != progs.Fib(n) {
+			t.Errorf("fib(%d) = %d, want %d", n, r.RAX, progs.Fib(n))
+		}
+	}
+}
+
+// TestMaxForkOnMachine exercises the fetch-stall path: vmax's conditional
+// branches depend on memory loads, so the fetch stage cannot compute them
+// and must wait for the execute stage.
+func TestMaxForkOnMachine(t *testing.T) {
+	vecs := [][]uint64{
+		{7},
+		{7, 3},
+		{3, 7},
+		{5, 1, 9, 2, 8},
+		{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16},
+		{16, 15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1},
+	}
+	for _, cores := range []int{2, 5, 8} {
+		for _, v := range vecs {
+			p, err := progs.BuildMaxFork(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, r := runBoth(t, p, cores)
+			want := uint64(0)
+			for _, x := range v {
+				if x > want {
+					want = x
+				}
+			}
+			if r.RAX != want {
+				t.Errorf("cores=%d max(%v) = %d, want %d", cores, v, r.RAX, want)
+			}
+		}
+	}
+}
+
+// TestMemoryStateMatchesEmulator: after the run, the machine's committed DMH
+// agrees with the emulator's memory on every address the program wrote.
+func TestMemoryStateMatchesEmulator(t *testing.T) {
+	p, err := progs.BuildSumFork(progs.Vector(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := emu.RunProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(p, DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Data segment and the stack words used by the run.
+	for off := uint64(0); off < uint64(len(p.Data)); off += 8 {
+		a := isa.DataBase + off
+		if got, want := m.DMH().ReadU64(a), cpu.Mem.ReadU64(a); got != want {
+			t.Errorf("data[%#x] = %d, want %d", a, got, want)
+		}
+	}
+	for a := isa.StackTop - 512; a < isa.StackTop; a += 8 {
+		if got, want := m.DMH().ReadU64(a), cpu.Mem.ReadU64(a); got != want {
+			t.Errorf("stack[%#x] = %d, want %d", a, got, want)
+		}
+	}
+}
+
+// TestFetchTimeScaling reproduces the Section 5 scaling shape: fetch time
+// grows by a constant number of cycles per doubling (the paper's 12), so
+// fetch IPC grows roughly linearly with the data size.
+func TestFetchTimeScaling(t *testing.T) {
+	var fetch []int64
+	maxN := 5
+	for n := 0; n <= maxN; n++ {
+		p, err := progs.BuildSumFork(progs.Vector(5 << uint(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Enough cores that section placement never throttles fetch.
+		r, err := RunProgram(p, int(analytic.Sections(n))+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fetch = append(fetch, r.FetchDone)
+	}
+	// The per-doubling increments must be (near-)constant, not
+	// proportional: parallel fetch hides the doubling.
+	var incs []int64
+	for i := 1; i < len(fetch); i++ {
+		incs = append(incs, fetch[i]-fetch[i-1])
+	}
+	for i := 1; i < len(incs); i++ {
+		d := incs[i] - incs[i-1]
+		if d < -4 || d > 4 {
+			t.Errorf("fetch increments not near-constant: %v (times %v)", incs, fetch)
+			break
+		}
+	}
+	// Fetch IPC at n=5 far exceeds 1 (a sequential 1-wide fetcher).
+	instr := analytic.Instructions(maxN) + 4
+	ipc := float64(instr) / float64(fetch[maxN])
+	if ipc < 4 {
+		t.Errorf("fetch IPC at n=%d = %.1f, want >= 4", maxN, ipc)
+	}
+}
+
+// TestSingleCoreStillCorrect: with one core everything serialises through
+// one pipeline and the suspension mechanism, but results are unchanged.
+func TestSingleCoreStillCorrect(t *testing.T) {
+	p, err := progs.BuildSumFork(progs.Vector(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, r := runBoth(t, p, 1)
+	if r.RAX != progs.VectorSum(10) {
+		t.Errorf("rax = %d", r.RAX)
+	}
+	if got := len(r.FetchedPerCore); got != 1 {
+		t.Errorf("cores = %d, want 1", got)
+	}
+}
+
+// TestMoreCoresNeverSlowerMuch: adding cores should not increase total
+// cycles appreciably (scheduling noise aside) and should reduce them
+// markedly from 1 core to plenty.
+func TestMoreCoresNeverSlowerMuch(t *testing.T) {
+	p, err := progs.BuildSumFork(progs.Vector(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := RunProgram(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := RunProgram(p, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.Cycles >= one.Cycles {
+		t.Errorf("64 cores (%d cycles) not faster than 1 core (%d cycles)", many.Cycles, one.Cycles)
+	}
+}
+
+func TestShortcutDisabledStillCorrect(t *testing.T) {
+	p, err := progs.BuildSumFork(progs.Vector(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(6)
+	cfg.Shortcut = false
+	m, err := New(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RAX != progs.VectorSum(20) {
+		t.Errorf("rax = %d, want %d", r.RAX, progs.VectorSum(20))
+	}
+}
+
+// TestShortcutReducesLatency: with the call-level shortcut the final
+// continuation's stack read bypasses deeper sections, so the run with the
+// shortcut is no slower than without (and typically faster).
+func TestShortcutReducesLatency(t *testing.T) {
+	p, err := progs.BuildSumFork(progs.Vector(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := DefaultConfig(12)
+	off := DefaultConfig(12)
+	off.Shortcut = false
+	mon, err := New(p, on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ron, err := mon.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	moff, err := New(p, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roff, err := moff.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ron.Cycles > roff.Cycles {
+		t.Errorf("shortcut run (%d cycles) slower than no-shortcut (%d cycles)", ron.Cycles, roff.Cycles)
+	}
+}
+
+func TestTopologies(t *testing.T) {
+	p, err := progs.BuildSumFork(progs.Vector(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets := []noc.Network{
+		noc.NewCrossbar(8, 1),
+		noc.NewCrossbar(8, 3),
+		noc.NewRing(8, 1),
+		noc.NewMesh(4, 2, 1),
+	}
+	var cycles []int64
+	for _, n := range nets {
+		cfg := DefaultConfig(8)
+		cfg.Net = n
+		m, err := New(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := m.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", n.Name(), err)
+		}
+		if r.RAX != progs.VectorSum(20) {
+			t.Errorf("%s: rax = %d", n.Name(), r.RAX)
+		}
+		cycles = append(cycles, r.Cycles)
+	}
+	// Higher-latency crossbar cannot be faster than the 1-hop crossbar.
+	if cycles[1] < cycles[0] {
+		t.Errorf("crossbar hop=3 (%d) faster than hop=1 (%d)", cycles[1], cycles[0])
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p, err := progs.BuildFibFork(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RunProgram(p, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunProgram(p, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Instructions != b.Instructions || a.RAX != b.RAX {
+		t.Errorf("non-deterministic: %v vs %v", a.Summary(), b.Summary())
+	}
+	if len(a.Timings) != len(b.Timings) {
+		t.Fatalf("timing lengths differ")
+	}
+	for i := range a.Timings {
+		if a.Timings[i] != b.Timings[i] {
+			t.Fatalf("timing %d differs: %+v vs %+v", i, a.Timings[i], b.Timings[i])
+		}
+	}
+}
+
+func TestCallRetRejected(t *testing.T) {
+	p, err := progs.BuildSumCall(progs.Vector(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunProgram(p, 4); err == nil {
+		t.Error("machine accepted a call/ret program")
+	}
+}
+
+func TestFig10TableRendering(t *testing.T) {
+	p, err := progs.BuildSumFork(progs.Vector(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RunProgram(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := r.Fig10Table()
+	for _, want := range []string{"core 0 pipeline", "fd", "ret", "fork sum", "endfork", "movq (%rdi), %rax"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("Fig10 table missing %q", want)
+		}
+	}
+	// Every retired instruction has monotonically ordered stage cycles.
+	for _, ti := range r.Timings {
+		if ti.RR <= ti.FD {
+			t.Errorf("%s: rr %d <= fd %d", ti.Label(), ti.RR, ti.FD)
+		}
+		if ti.EW <= ti.RR {
+			t.Errorf("%s: ew %d <= rr %d", ti.Label(), ti.EW, ti.RR)
+		}
+		if ti.AR != 0 && ti.AR <= ti.EW {
+			t.Errorf("%s: ar %d <= ew %d", ti.Label(), ti.AR, ti.EW)
+		}
+		if ti.MA != 0 && ti.MA <= ti.AR {
+			t.Errorf("%s: ma %d <= ar %d", ti.Label(), ti.MA, ti.AR)
+		}
+		if ti.RET == 0 {
+			t.Errorf("%s: never retired", ti.Label())
+		}
+	}
+}
+
+// TestSectionOrderMatchesTrace: concatenating the machine's sections in
+// their final total order yields exactly the emulator's sequential trace.
+func TestSectionOrderMatchesTrace(t *testing.T) {
+	p, err := progs.BuildSumFork(progs.Vector(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _, err := emu.RunTraced(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RunProgram(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(tr.Len()) != r.Instructions {
+		t.Fatalf("machine %d instructions, trace %d", r.Instructions, tr.Len())
+	}
+	for i, ti := range r.Timings {
+		if ti.IP != tr.Records[i].IP {
+			t.Fatalf("trace position %d: machine ip %d, emulator ip %d", i, ti.IP, tr.Records[i].IP)
+		}
+	}
+}
+
+// TestRequestsIssued: the run uses the distributed renaming machinery (rax
+// across sections, stack words across sections).
+func TestRequestsIssued(t *testing.T) {
+	p, err := progs.BuildSumFork(progs.Vector(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RunProgram(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RegRequests == 0 {
+		t.Error("no register renaming requests were issued")
+	}
+	if r.MemRequests == 0 {
+		t.Error("no memory renaming requests were issued")
+	}
+}
+
+// TestStallDetection: a program that loops forever trips the progress
+// detector rather than hanging.
+func TestStallDetection(t *testing.T) {
+	p, err := asm.Assemble(`
+_start: jmp _start
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(2)
+	cfg.MaxCycles = 5000
+	m, err := New(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err == nil {
+		t.Error("infinite loop did not abort")
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	p, err := progs.BuildSumFork(progs.Vector(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(p, Config{Cores: 0}); err == nil {
+		t.Error("accepted 0 cores")
+	}
+}

@@ -1,0 +1,524 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+// older orders dynamic instructions by (section order position, ordinal).
+func older(a, b *DynInst) bool {
+	if a.Sec.Pos != b.Sec.Pos {
+		return a.Sec.Pos < b.Sec.Pos
+	}
+	return a.Idx < b.Idx
+}
+
+// ---------------------------------------------------------------- fetch ----
+
+// stageFD implements the fetch-decode-and-partly-execute stage (Fig. 8):
+// one instruction per cycle, simple ALU and control instructions computed
+// in-stage when their sources are full in the stage-local register file.
+func (m *Machine) stageFD(c *Core) {
+	if c.fetch == nil {
+		m.pickSection(c)
+		if c.fetch == nil {
+			return
+		}
+	}
+	sec := c.fetch
+	if sec.stalled != nil {
+		d := sec.stalled
+		if d.resolved && d.tEW > 0 && d.tEW < m.cycle {
+			sec.fetchIP = d.nextIP
+			sec.stalled = nil
+			m.progress++
+		} else {
+			// A stalled fetch sets the section aside when there is other
+			// fetch work: a queued section-creation message or a suspended
+			// section whose branch has resolved (engineering extension over
+			// the paper, which leaves the interleaving unspecified; this
+			// guarantees deadlock freedom when sections outnumber cores).
+			if m.hasFetchWork(c) {
+				sec.rfSave = c.rf
+				c.suspended = append(c.suspended, sec)
+				c.fetch = nil
+			}
+			return
+		}
+	}
+	if sec.fetchIP < 0 || sec.fetchIP >= int64(len(m.prog.Text)) {
+		m.err = fmt.Errorf("machine: section %d fetch out of text at ip=%d", sec.ID, sec.fetchIP)
+		return
+	}
+	in := &m.prog.Text[sec.fetchIP]
+	d := &DynInst{
+		Sec:   sec,
+		Idx:   len(sec.Insts),
+		IP:    sec.fetchIP,
+		In:    in,
+		Level: sec.curLevel,
+		class: in.Classify(),
+		tFD:   m.cycle,
+	}
+	sec.Insts = append(sec.Insts, d)
+	c.renameQ = append(c.renameQ, d)
+	c.fetched++
+	m.progress++
+	next := sec.fetchIP + 1
+
+	full := func(rs []isa.Reg) bool {
+		for _, r := range rs {
+			if !c.rf[r].full {
+				return false
+			}
+		}
+		return true
+	}
+	rd := func(r isa.Reg) uint64 { return c.rf[r].v }
+	markEmpty := func() {
+		for _, r := range dedupRegs(in.RegWrites(nil)) {
+			c.rf[r] = val{}
+		}
+	}
+
+	switch d.class {
+	case isa.ClassSimple:
+		reads := dedupRegs(in.RegReads(nil))
+		if full(reads) {
+			out, err := evalRegCompute(in, rd)
+			if err != nil {
+				m.err = fmt.Errorf("machine: ip=%d (%s): %v", d.IP, in, err)
+				return
+			}
+			for r, v := range out {
+				d.setReg(r, v, m.cycle)
+				c.rf[r] = val{v: v, full: true}
+			}
+			d.computedAtFetch = true
+		} else {
+			markEmpty()
+		}
+	case isa.ClassComplex:
+		// Complex integer instructions are never computed in the fetch
+		// stage (§4.1), even when their sources are full.
+		markEmpty()
+	case isa.ClassLoad, isa.ClassStore:
+		// The register half of push/pop (the rsp update) is simple and is
+		// computed in-stage when rsp is full, keeping the stack discipline
+		// flowing through the fetch stage.
+		if (in.Op == isa.PUSH || in.Op == isa.POP) && c.rf[isa.RSP].full {
+			nrsp := c.rf[isa.RSP].v - 8
+			if in.Op == isa.POP {
+				nrsp = c.rf[isa.RSP].v + 8
+			}
+			d.setReg(isa.RSP, nrsp, m.cycle)
+			c.rf[isa.RSP] = val{v: nrsp, full: true}
+			if in.Op == isa.POP && in.Dst.Kind == isa.KindReg {
+				c.rf[in.Dst.Reg] = val{}
+			}
+			if in.WritesFlags() {
+				c.rf[isa.Flags] = val{}
+			}
+		} else {
+			markEmpty()
+		}
+	case isa.ClassControl:
+		switch in.Op {
+		case isa.JMP:
+			next = in.Target
+			d.taken = true
+			d.resolved = true
+			d.computedAtFetch = true
+		case isa.Jcc:
+			if c.rf[isa.Flags].full {
+				d.taken = in.Cond.Eval(isa.FlagsVal(c.rf[isa.Flags].v))
+				if d.taken {
+					next = in.Target
+				}
+				d.nextIP = next
+				d.resolved = true
+				d.computedAtFetch = true
+			} else {
+				// The branch target cannot be computed: fetch stalls until
+				// the execute stage resolves it (Fig. 8: "IP is set to
+				// empty ... if target is not computed").
+				sec.stalled = d
+			}
+		case isa.FORK:
+			m.doFork(c, sec, d)
+			next = in.Target
+			d.taken = true
+			d.resolved = true
+			d.computedAtFetch = true
+			sec.curLevel++
+		case isa.ENDFORK, isa.HLT:
+			d.resolved = true
+			d.computedAtFetch = true
+			sec.fetchDone = true
+			c.fetch = nil
+			if in.Op == isa.HLT {
+				m.hltSeen = true
+			}
+		}
+	}
+	sec.fetchIP = next
+}
+
+// hasFetchWork reports whether an idle (or stalled) fetch stage has something
+// else it could usefully fetch.
+func (m *Machine) hasFetchWork(c *Core) bool {
+	if len(c.pending) > 0 && c.pending[0].deliverAt < m.cycle {
+		return true
+	}
+	for _, s := range c.suspended {
+		d := s.stalled
+		if d != nil && d.resolved && d.tEW > 0 && d.tEW < m.cycle {
+			return true
+		}
+	}
+	return false
+}
+
+// pickSection chooses what the idle fetch stage works on next: first any
+// suspended section whose stalled branch has resolved, then the head of the
+// section-creation FIFO (a message is consumed the cycle after delivery).
+func (m *Machine) pickSection(c *Core) {
+	for i, s := range c.suspended {
+		d := s.stalled
+		if d != nil && d.resolved && d.tEW > 0 && d.tEW < m.cycle {
+			c.suspended = append(c.suspended[:i], c.suspended[i+1:]...)
+			s.fetchIP = d.nextIP
+			s.stalled = nil
+			c.rf = s.rfSave // fetch RF as saved at suspension
+			c.fetch = s
+			m.progress++
+			return
+		}
+	}
+	if len(c.pending) > 0 && c.pending[0].deliverAt < m.cycle {
+		msg := c.pending[0]
+		c.pending = c.pending[1:]
+		m.pendingCreates--
+		sec := msg.sec
+		for r := isa.Reg(0); r < isa.NumRegs; r++ {
+			c.rf[r] = sec.init[r]
+		}
+		sec.firstFetch = m.cycle
+		c.fetch = sec
+		m.progress++
+	}
+}
+
+// doFork creates the continuation section (starting at the instruction after
+// the fork) and sends its creation message: the forked IP, the stack pointer
+// and the non-volatile registers (§4.1). Registers that are not computed at
+// the fork point cannot travel in the message; they are linked to the
+// creator's current producers when the fork passes the rename stage (at that
+// point every older write has been renamed and no younger one exists, so the
+// creator's RAT entry is exactly the value the copy must carry).
+func (m *Machine) doFork(c *Core, sec *Section, d *DynInst) {
+	created := m.newSection(d.IP+1, sec.curLevel, m.cycle)
+	for _, r := range emu.NonVolatile {
+		if c.rf[r].full {
+			created.init[r] = c.rf[r]
+		} else {
+			d.pendingCopy = append(d.pendingCopy, r)
+		}
+	}
+	d.createdSec = created
+	m.insertAfter(sec, created)
+	m.assignHost(created, m.cycle+m.cfg.CreateLatency)
+}
+
+// --------------------------------------------------------------- rename ----
+
+// stageRR implements the register-rename stage: one instruction per cycle,
+// in fetch order. Sources that miss in the section's RAT and have no fork
+// copy allocate a cache slot and send a renaming request backwards along the
+// section order (§4.2, "Register renaming").
+func (m *Machine) stageRR(c *Core) {
+	if len(c.renameQ) == 0 {
+		return
+	}
+	d := c.renameQ[0]
+	if d.tFD >= m.cycle {
+		return
+	}
+	c.renameQ = c.renameQ[1:]
+	sec := d.Sec
+
+	needsSources := !d.computedAtFetch || d.isMem()
+	if needsSources {
+		aRegs := addrRegs(d.In)
+		for _, r := range dedupRegs(d.In.RegReads(nil)) {
+			p := sec.rat[r]
+			if p == nil {
+				if sec.init[r].full {
+					p = filledSlot(sec.init[r].v, sec.firstFetch)
+					sec.rat[r] = p
+				} else {
+					sl := newSlot()
+					sec.rat[r] = sl
+					m.addRequest(reqReg, r, 0, d, sl)
+					p = sl
+				}
+			}
+			d.srcs = append(d.srcs, srcRef{reg: r, prod: p, addr: aRegs[r]})
+		}
+	}
+	for _, r := range dedupRegs(d.In.RegWrites(nil)) {
+		sec.rat[r] = regProd{inst: d, reg: r}
+	}
+	if d.In.Op == isa.FORK && len(d.pendingCopy) > 0 {
+		// Deferred non-volatile copies: link the created section to the
+		// creator's current producers.
+		for _, r := range d.pendingCopy {
+			p := sec.rat[r]
+			if p == nil {
+				if sec.init[r].full {
+					p = filledSlot(sec.init[r].v, sec.firstFetch)
+				} else {
+					sl := newSlot()
+					m.addRequest(reqReg, r, 0, d, sl)
+					p = sl
+				}
+				sec.rat[r] = p
+			}
+			d.createdSec.rat[r] = p
+		}
+	}
+	d.tRR = m.cycle
+	sec.renamed++
+	m.progress++
+	if d.isMem() {
+		sec.memOps++
+		sec.arQ = append(sec.arQ, d)
+	}
+	c.iq = append(c.iq, d)
+}
+
+// -------------------------------------------------------------- execute ----
+
+// ewReady reports whether d can pass the execute-write-back stage: for
+// memory instructions only the address-forming sources must be ready; for
+// everything else all sources must be ready.
+func (m *Machine) ewReady(d *DynInst) bool {
+	if d.computedAtFetch && !d.isMem() {
+		return true
+	}
+	for _, s := range d.srcs {
+		if d.isMem() && !s.addr {
+			continue
+		}
+		at := s.prod.readyAt()
+		if at < 0 || at >= m.cycle {
+			return false
+		}
+	}
+	return true
+}
+
+// stageEW implements the out-of-order execute-write-back stage: one
+// instruction per cycle, oldest ready first. Register-register instructions
+// compute their results; memory instructions compute their access address;
+// stalled control instructions resolve and unblock fetch.
+func (m *Machine) stageEW(c *Core) {
+	best := -1
+	for i, d := range c.iq {
+		if d.tRR == 0 || d.tRR >= m.cycle {
+			continue
+		}
+		if !m.ewReady(d) {
+			continue
+		}
+		if best < 0 || older(d, c.iq[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return
+	}
+	d := c.iq[best]
+	c.iq = append(c.iq[:best], c.iq[best+1:]...)
+	d.tEW = m.cycle
+	m.progress++
+
+	if d.isMem() {
+		d.addr = d.effectiveAddr()
+		// The register half of push/pop, if not computed at fetch.
+		if d.In.Op == isa.PUSH {
+			if _, ok := d.regOut[isa.RSP]; !ok {
+				d.setReg(isa.RSP, d.srcValue(isa.RSP)-8, m.cycle)
+			}
+		}
+		if d.In.Op == isa.POP {
+			if _, ok := d.regOut[isa.RSP]; !ok {
+				d.setReg(isa.RSP, d.srcValue(isa.RSP)+8, m.cycle)
+			}
+		}
+		return
+	}
+	if d.computedAtFetch {
+		return // results already produced in the fetch stage
+	}
+	switch d.In.Op {
+	case isa.Jcc:
+		fl := isa.FlagsVal(d.srcValue(isa.Flags))
+		d.taken = d.In.Cond.Eval(fl)
+		d.nextIP = d.IP + 1
+		if d.taken {
+			d.nextIP = d.In.Target
+		}
+		d.resolved = true
+	case isa.NOP, isa.JMP, isa.FORK, isa.ENDFORK, isa.HLT:
+		d.resolved = true
+	default:
+		out, err := evalRegCompute(d.In, d.srcValue)
+		if err != nil {
+			m.err = fmt.Errorf("machine: ip=%d (%s): %v", d.IP, d.In, err)
+			return
+		}
+		for r, v := range out {
+			d.setReg(r, v, m.cycle)
+		}
+	}
+}
+
+// ------------------------------------------------------- address rename ----
+
+// stageAR implements the in-order address-rename stage: one memory
+// instruction per cycle per core, in section order within each section
+// (oldest section first across sections). Loads that miss in the MAAT send
+// a memory renaming request backwards along the section order, applying the
+// call-level shortcut for rsp-positive addresses (§4.2, "Memory renaming").
+func (m *Machine) stageAR(c *Core) {
+	var sec *Section
+	var d *DynInst
+	for _, s := range m.order {
+		if s.Core != c.id || s.dumped || len(s.arQ) == 0 {
+			continue
+		}
+		h := s.arQ[0]
+		if h.tEW == 0 || h.tEW >= m.cycle {
+			continue
+		}
+		if sec == nil || s.Pos < sec.Pos {
+			sec, d = s, h
+		}
+	}
+	if d == nil {
+		return
+	}
+	sec.arQ = sec.arQ[1:]
+
+	if _, reads := d.In.MemRead(); reads {
+		p := sec.maat[d.addr]
+		if p == nil {
+			sl := newSlot()
+			sec.maat[d.addr] = sl
+			m.addRequest(reqMem, 0, d.addr, d, sl)
+			p = sl
+		}
+		d.memSrc = p
+	}
+	if _, writes := d.In.MemWrite(); writes {
+		sec.maat[d.addr] = memProd{inst: d}
+	}
+	d.tAR = m.cycle
+	sec.memRen++
+	m.progress++
+	c.lsq = append(c.lsq, d)
+}
+
+// -------------------------------------------------------- memory access ----
+
+// maReady reports whether d can pass the memory-access stage: its loaded
+// value (if any) and its non-address sources must be ready.
+func (m *Machine) maReady(d *DynInst) bool {
+	if d.memSrc != nil {
+		at := d.memSrc.readyAt()
+		if at < 0 || at >= m.cycle {
+			return false
+		}
+	}
+	for _, s := range d.srcs {
+		at := s.prod.readyAt()
+		if at < 0 || at >= m.cycle {
+			return false
+		}
+	}
+	return true
+}
+
+// stageMA implements the memory-access stage: one renamed memory instruction
+// per cycle, oldest ready first. Loads deliver their value to the register
+// results; stores make their value available to consumers.
+func (m *Machine) stageMA(c *Core) {
+	best := -1
+	for i, d := range c.lsq {
+		if d.tAR == 0 || d.tAR >= m.cycle {
+			continue
+		}
+		if !m.maReady(d) {
+			continue
+		}
+		if best < 0 || older(d, c.lsq[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return
+	}
+	d := c.lsq[best]
+	c.lsq = append(c.lsq[:best], c.lsq[best+1:]...)
+	var mv uint64
+	if d.memSrc != nil {
+		mv = d.memSrc.value()
+	}
+	if err := d.evalMemAccess(mv, m.cycle); err != nil {
+		m.err = err
+		return
+	}
+	d.tMA = m.cycle
+	m.progress++
+}
+
+// --------------------------------------------------------------- retire ----
+
+// stageRetire implements the in-order (per section) retirement stage: one
+// instruction per cycle per core, oldest hosted section first. Retirement is
+// parallel across cores/sections (§4.2, "Parallelizing retirement"); the
+// oldest section's state is dumped to the DMH by Machine.dumpOldest.
+func (m *Machine) stageRetire(c *Core) {
+	var sec *Section
+	var d *DynInst
+	for _, s := range m.order {
+		if s.Core != c.id || s.dumped || s.retired >= len(s.Insts) {
+			continue
+		}
+		h := s.Insts[s.retired]
+		if !h.done() || h.tRET != 0 {
+			continue
+		}
+		// A stage boundary: the completing event must be strictly older
+		// than this cycle.
+		if h.isMem() {
+			if h.tMA >= m.cycle {
+				continue
+			}
+		} else if h.tEW >= m.cycle {
+			continue
+		}
+		if sec == nil || s.Pos < sec.Pos {
+			sec, d = s, h
+		}
+	}
+	if d == nil {
+		return
+	}
+	d.tRET = m.cycle
+	sec.retired++
+	m.progress++
+}

@@ -1,0 +1,412 @@
+package minic
+
+// checker resolves names, assigns types and lays out stack frames.
+type checker struct {
+	prog   *Program
+	fn     *Function
+	scopes []map[string]*LocalVar
+	loops  int
+	frame  int64
+}
+
+// Check resolves and type-checks a parsed program in place.
+func Check(prog *Program) error {
+	c := &checker{prog: prog}
+	for _, f := range prog.Functions {
+		if err := c.function(f); err != nil {
+			return err
+		}
+	}
+	if _, ok := prog.funcByName["main"]; !ok {
+		return errf(0, "no main function")
+	}
+	return nil
+}
+
+func (c *checker) function(f *Function) error {
+	c.fn = f
+	c.frame = 0
+	c.loops = 0
+	c.scopes = []map[string]*LocalVar{make(map[string]*LocalVar)}
+	for _, p := range f.Params {
+		if c.scopes[0][p.Name] != nil {
+			return errf(f.Line, "duplicate parameter %q", p.Name)
+		}
+		c.alloc(p)
+		c.scopes[0][p.Name] = p
+	}
+	if err := c.stmts(f.Body); err != nil {
+		return err
+	}
+	// Align the frame to 16 for tidiness.
+	f.FrameSize = (c.frame + 15) &^ 15
+	return nil
+}
+
+func (c *checker) alloc(v *LocalVar) {
+	c.frame += v.Type.Size()
+	v.Offset = -c.frame
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, make(map[string]*LocalVar)) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) lookup(name string) *LocalVar {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if v := c.scopes[i][name]; v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+func (c *checker) stmts(ss []*Stmt) error {
+	for _, s := range ss {
+		if err := c.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) stmt(s *Stmt) error {
+	switch s.Kind {
+	case StmtExpr:
+		return c.expr(s.E)
+	case StmtDecl:
+		cur := c.scopes[len(c.scopes)-1]
+		if cur[s.Decl.Name] != nil {
+			return errf(s.Line, "duplicate variable %q", s.Decl.Name)
+		}
+		c.alloc(s.Decl)
+		c.fn.Locals = append(c.fn.Locals, s.Decl)
+		cur[s.Decl.Name] = s.Decl
+		if s.DeclInit != nil {
+			if s.Decl.Type.Kind == TypeArray {
+				return errf(s.Line, "array initialisers are not supported")
+			}
+			if err := c.expr(s.DeclInit); err != nil {
+				return err
+			}
+			if err := c.assignable(s.Line, s.Decl.Type, s.DeclInit); err != nil {
+				return err
+			}
+		}
+		return nil
+	case StmtIf:
+		if err := c.cond(s.E); err != nil {
+			return err
+		}
+		c.push()
+		if err := c.stmts(s.Body); err != nil {
+			return err
+		}
+		c.pop()
+		c.push()
+		defer c.pop()
+		return c.stmts(s.Else)
+	case StmtWhile:
+		if err := c.cond(s.E); err != nil {
+			return err
+		}
+		c.loops++
+		c.push()
+		err := c.stmts(s.Body)
+		c.pop()
+		c.loops--
+		return err
+	case StmtFor:
+		c.push()
+		defer c.pop()
+		if s.Init != nil {
+			if err := c.stmt(s.Init); err != nil {
+				return err
+			}
+		}
+		if s.E != nil {
+			if err := c.cond(s.E); err != nil {
+				return err
+			}
+		}
+		if s.Post != nil {
+			if err := c.stmt(s.Post); err != nil {
+				return err
+			}
+		}
+		c.loops++
+		c.push()
+		err := c.stmts(s.Body)
+		c.pop()
+		c.loops--
+		return err
+	case StmtReturn:
+		if s.E == nil {
+			if c.fn.Ret.Kind != TypeVoid {
+				return errf(s.Line, "missing return value in %q", c.fn.Name)
+			}
+			return nil
+		}
+		if c.fn.Ret.Kind == TypeVoid {
+			return errf(s.Line, "return with a value in void function %q", c.fn.Name)
+		}
+		if err := c.expr(s.E); err != nil {
+			return err
+		}
+		return c.assignable(s.Line, c.fn.Ret, s.E)
+	case StmtBlock:
+		c.push()
+		defer c.pop()
+		return c.stmts(s.Body)
+	case StmtBreak, StmtContinue:
+		if c.loops == 0 {
+			return errf(s.Line, "break/continue outside a loop")
+		}
+		return nil
+	}
+	return errf(s.Line, "unknown statement")
+}
+
+func (c *checker) cond(e *Expr) error {
+	if err := c.expr(e); err != nil {
+		return err
+	}
+	if e.Type.Kind == TypeVoid {
+		return errf(e.Line, "void value used as condition")
+	}
+	return nil
+}
+
+// assignable checks that e can be assigned to type dst (a zero literal
+// converts to any pointer; integers interconvert; pointer kinds must match).
+func (c *checker) assignable(line int, dst *Type, e *Expr) error {
+	src := e.Type
+	if src.Kind == TypeArray {
+		src = ptrTo(src.Elem) // decay
+	}
+	switch {
+	case dst.IsInteger() && src.IsInteger():
+		return nil
+	case dst.Kind == TypePtr && src.Kind == TypePtr:
+		return nil // permissive pointer conversion, as pre-ANSI C
+	case dst.Kind == TypePtr && e.Kind == ExprNum && e.Num == 0:
+		return nil
+	case dst.Kind == TypePtr && src.IsInteger():
+		return nil // permissive: addresses are exchanged with integers
+	case dst.IsInteger() && src.Kind == TypePtr:
+		return nil
+	}
+	return errf(line, "cannot assign %s to %s", e.Type, dst)
+}
+
+func (c *checker) expr(e *Expr) error {
+	switch e.Kind {
+	case ExprNum:
+		e.Type = tyULong
+		if int64(e.Num) >= 0 {
+			e.Type = tyLong
+		}
+		return nil
+	case ExprVar:
+		if v := c.lookup(e.Name); v != nil {
+			e.Local = v
+			e.Type = v.Type
+			return nil
+		}
+		if g := c.prog.globByName[e.Name]; g != nil {
+			e.Global = g
+			e.Type = g.Type
+			return nil
+		}
+		return errf(e.Line, "undeclared identifier %q", e.Name)
+	case ExprUnary:
+		if err := c.expr(e.L); err != nil {
+			return err
+		}
+		switch e.Op {
+		case "-", "~":
+			if !e.L.Type.IsInteger() {
+				return errf(e.Line, "unary %s on %s", e.Op, e.L.Type)
+			}
+			e.Type = e.L.Type
+		case "!":
+			e.Type = tyLong
+		case "*":
+			t := e.L.Type
+			if t.Kind == TypeArray {
+				t = ptrTo(t.Elem)
+			}
+			if t.Kind != TypePtr {
+				return errf(e.Line, "dereference of non-pointer %s", e.L.Type)
+			}
+			if t.Elem.Kind == TypeVoid {
+				return errf(e.Line, "dereference of void pointer")
+			}
+			e.Type = t.Elem
+		case "&":
+			if !c.isLvalue(e.L) {
+				return errf(e.Line, "cannot take the address of this expression")
+			}
+			t := e.L.Type
+			if t.Kind == TypeArray {
+				t = t.Elem
+			}
+			e.Type = ptrTo(t)
+		}
+		return nil
+	case ExprBinary:
+		if err := c.expr(e.L); err != nil {
+			return err
+		}
+		if err := c.expr(e.R); err != nil {
+			return err
+		}
+		lt, rt := decay(e.L.Type), decay(e.R.Type)
+		switch e.Op {
+		case "+":
+			switch {
+			case lt.Kind == TypePtr && rt.IsInteger():
+				e.Type = lt
+			case rt.Kind == TypePtr && lt.IsInteger():
+				e.Type = rt
+			case lt.IsInteger() && rt.IsInteger():
+				e.Type = arith(lt, rt)
+			default:
+				return errf(e.Line, "invalid operands to +: %s and %s", lt, rt)
+			}
+		case "-":
+			switch {
+			case lt.Kind == TypePtr && rt.IsInteger():
+				e.Type = lt
+			case lt.Kind == TypePtr && rt.Kind == TypePtr:
+				e.Type = tyLong // element difference
+			case lt.IsInteger() && rt.IsInteger():
+				e.Type = arith(lt, rt)
+			default:
+				return errf(e.Line, "invalid operands to -: %s and %s", lt, rt)
+			}
+		case "*", "/", "%", "&", "|", "^", "<<", ">>":
+			if !lt.IsInteger() || !rt.IsInteger() {
+				return errf(e.Line, "invalid operands to %s: %s and %s", e.Op, lt, rt)
+			}
+			if e.Op == "<<" || e.Op == ">>" {
+				e.Type = lt
+			} else {
+				e.Type = arith(lt, rt)
+			}
+		case "<", "<=", ">", ">=", "==", "!=":
+			okInts := lt.IsInteger() && rt.IsInteger()
+			okPtrs := lt.Kind == TypePtr && rt.Kind == TypePtr
+			okPtrZero := (lt.Kind == TypePtr && e.R.Kind == ExprNum) || (rt.Kind == TypePtr && e.L.Kind == ExprNum)
+			if !okInts && !okPtrs && !okPtrZero {
+				return errf(e.Line, "invalid comparison: %s and %s", lt, rt)
+			}
+			e.Type = tyLong
+		case "&&", "||":
+			e.Type = tyLong
+		default:
+			return errf(e.Line, "unknown operator %q", e.Op)
+		}
+		return nil
+	case ExprAssign:
+		if err := c.expr(e.L); err != nil {
+			return err
+		}
+		if !c.isLvalue(e.L) || e.L.Type.Kind == TypeArray {
+			return errf(e.Line, "assignment to non-lvalue")
+		}
+		if err := c.expr(e.R); err != nil {
+			return err
+		}
+		if e.Op != "" {
+			// Compound assignment: type-check as L = L op R.
+			bin := &Expr{Kind: ExprBinary, Op: e.Op, Line: e.Line, L: e.L, R: e.R}
+			if err := c.expr(bin); err != nil {
+				return err
+			}
+		}
+		if err := c.assignable(e.Line, e.L.Type, e.R); err != nil {
+			return err
+		}
+		e.Type = e.L.Type
+		return nil
+	case ExprIndex:
+		if err := c.expr(e.L); err != nil {
+			return err
+		}
+		if err := c.expr(e.R); err != nil {
+			return err
+		}
+		bt := decay(e.L.Type)
+		if bt.Kind != TypePtr {
+			return errf(e.Line, "indexing a non-array %s", e.L.Type)
+		}
+		if !e.R.Type.IsInteger() {
+			return errf(e.Line, "array index must be an integer")
+		}
+		if bt.Elem.Kind == TypeVoid {
+			return errf(e.Line, "indexing a void pointer")
+		}
+		e.Type = bt.Elem
+		return nil
+	case ExprCall:
+		f := c.prog.funcByName[e.Name]
+		if f == nil {
+			return errf(e.Line, "call of undefined function %q", e.Name)
+		}
+		e.Callee = f
+		if len(e.Args) != len(f.Params) {
+			return errf(e.Line, "%q takes %d arguments, got %d", e.Name, len(f.Params), len(e.Args))
+		}
+		for i, a := range e.Args {
+			if err := c.expr(a); err != nil {
+				return err
+			}
+			if err := c.assignable(a.Line, f.Params[i].Type, a); err != nil {
+				return err
+			}
+		}
+		e.Type = f.Ret
+		return nil
+	case ExprCond:
+		if err := c.cond(e.C); err != nil {
+			return err
+		}
+		if err := c.expr(e.L); err != nil {
+			return err
+		}
+		if err := c.expr(e.R); err != nil {
+			return err
+		}
+		e.Type = decay(e.L.Type)
+		return nil
+	}
+	return errf(e.Line, "unknown expression")
+}
+
+func decay(t *Type) *Type {
+	if t.Kind == TypeArray {
+		return ptrTo(t.Elem)
+	}
+	return t
+}
+
+// arith returns the usual arithmetic conversion of two integer types:
+// unsigned wins.
+func arith(a, b *Type) *Type {
+	if a.Kind == TypeULong || b.Kind == TypeULong {
+		return tyULong
+	}
+	return tyLong
+}
+
+func (c *checker) isLvalue(e *Expr) bool {
+	switch e.Kind {
+	case ExprVar:
+		return true
+	case ExprIndex:
+		return true
+	case ExprUnary:
+		return e.Op == "*"
+	}
+	return false
+}

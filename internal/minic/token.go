@@ -1,0 +1,182 @@
+// Package minic implements a compiler for mini-C — the C subset the
+// reproduction uses to express the paper's workloads (the sum reduction of
+// Fig. 1a and the ten PBBS-style kernels of Fig. 7) — targeting the
+// reproduction's x86-flavoured ISA through the internal/asm assembler.
+//
+// The language: `long` / `unsigned long` scalars (both 64-bit), pointers and
+// fixed-size arrays of those, functions with up to six parameters, `if` /
+// `else` / `while` / `for` / `break` / `continue` / `return`, and the usual
+// C expression operators with C semantics (short-circuit && and ||,
+// signedness-aware comparison, division and right shift). Every scalar,
+// pointer and array element is 8 bytes.
+//
+// Two code generation modes reproduce the paper's §2:
+//
+//   - call mode (default): functions use call/ret and a conventional
+//     rbp-framed stack, like the paper's Fig. 2;
+//   - fork mode: call is replaced by fork and ret by endfork, like the
+//     paper's Fig. 5 — the generated code runs in parallel sections on the
+//     machine simulator with no other change, because all cross-call values
+//     flow through fork-copied registers or renamed stack memory.
+package minic
+
+import "fmt"
+
+// tokKind enumerates token kinds.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct   // operators and delimiters
+	tokKeyword // long, unsigned, void, if, else, while, for, return, break, continue
+)
+
+var keywords = map[string]bool{
+	"long": true, "unsigned": true, "void": true,
+	"if": true, "else": true, "while": true, "for": true,
+	"return": true, "break": true, "continue": true,
+}
+
+// token is one lexical token.
+type token struct {
+	kind tokKind
+	text string
+	num  uint64 // for tokNumber
+	line int
+}
+
+// Error is a compile error with a source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("minic: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex tokenises src.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			i += 2
+			for i+1 < n && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i+1 >= n {
+				return nil, errf(line, "unterminated comment")
+			}
+			i += 2
+		case isIdentStart(c):
+			j := i
+			for j < n && isIdentPart(src[j]) {
+				j++
+			}
+			word := src[i:j]
+			k := tokIdent
+			if keywords[word] {
+				k = tokKeyword
+			}
+			toks = append(toks, token{kind: k, text: word, line: line})
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			base := uint64(10)
+			if c == '0' && i+1 < n && (src[i+1] == 'x' || src[i+1] == 'X') {
+				base = 16
+				j = i + 2
+				for j < n && isHex(src[j]) {
+					j++
+				}
+				if j == i+2 {
+					return nil, errf(line, "bad hex literal")
+				}
+			} else {
+				for j < n && src[j] >= '0' && src[j] <= '9' {
+					j++
+				}
+			}
+			var v uint64
+			var digits string
+			if base == 16 {
+				digits = src[i+2 : j]
+			} else {
+				digits = src[i:j]
+			}
+			for _, d := range []byte(digits) {
+				var dv uint64
+				switch {
+				case d >= '0' && d <= '9':
+					dv = uint64(d - '0')
+				case d >= 'a' && d <= 'f':
+					dv = uint64(d-'a') + 10
+				case d >= 'A' && d <= 'F':
+					dv = uint64(d-'A') + 10
+				}
+				v = v*base + dv
+			}
+			// Accept UL/U/L suffixes.
+			for j < n && (src[j] == 'u' || src[j] == 'U' || src[j] == 'l' || src[j] == 'L') {
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, num: v, text: src[i:j], line: line})
+			i = j
+		default:
+			// Multi-character operators first.
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "++", "--":
+				toks = append(toks, token{kind: tokPunct, text: two, line: line})
+				i += 2
+				continue
+			}
+			switch c {
+			case '+', '-', '*', '/', '%', '&', '|', '^', '~', '!', '<', '>', '=',
+				'(', ')', '{', '}', '[', ']', ';', ',', '?', ':':
+				toks = append(toks, token{kind: tokPunct, text: string(c), line: line})
+				i++
+			default:
+				return nil, errf(line, "unexpected character %q", string(c))
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func isHex(c byte) bool {
+	return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
