@@ -1,0 +1,181 @@
+// Command repro exercises the whole reproduction stack from the command
+// line:
+//
+//	repro bench    — run every PBBS kernel on the emulator, validating
+//	                 checksums against the pure-Go references
+//	repro ilp      — regenerate the paper's Fig. 7: trace-dataflow ILP of
+//	                 the ten kernels under the sequential and parallel
+//	                 dependence models (batch-measured with a worker pool)
+//	repro machine  — cross-validate kernels on the cycle-level many-core
+//	                 simulator against the emulator and report cycles/IPC
+//	repro analytic — print the Section 5 closed-form scaling table for the
+//	                 sum reduction
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/analytic"
+	"repro/internal/pbbs"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: repro <command> [flags]
+
+commands:
+  bench     run every kernel on the emulator and validate checksums
+  ilp       print the Fig. 7 table (sequential vs parallel trace ILP)
+  machine   cross-validate kernels on the many-core simulator
+  analytic  print the Section 5 scaling table
+
+run "repro <command> -h" for the flags of each command.
+`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "bench":
+		err = cmdBench(os.Args[2:])
+	case "ilp":
+		err = cmdILP(os.Args[2:])
+	case "machine":
+		err = cmdMachine(os.Args[2:])
+	case "analytic":
+		err = cmdAnalytic(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "repro: unknown command %q\n", os.Args[1])
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// selectKernels resolves the -kernel flag: 0 means all.
+func selectKernels(id int) ([]*pbbs.Kernel, error) {
+	if id == 0 {
+		return pbbs.Kernels(), nil
+	}
+	k, err := pbbs.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return []*pbbs.Kernel{k}, nil
+}
+
+// parseSizes parses a comma-separated size list.
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad size %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	n := fs.Int("n", 64, "dataset size")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	kid := fs.Int("kernel", 0, "benchmark number (0 = all)")
+	fs.Parse(args)
+	ks, err := selectKernels(*kid)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-3s %-40s %8s %10s %20s %s\n", "#", "benchmark", "n", "instr", "checksum", "status")
+	for _, k := range ks {
+		res, err := k.Run(*n, *seed, false)
+		if err != nil {
+			fmt.Printf("%-3d %-40s %8d %10s %20s FAIL: %v\n", k.ID, k.Name, k.ClampN(*n), "-", "-", err)
+			continue
+		}
+		fmt.Printf("%-3d %-40s %8d %10d %20d ok\n", k.ID, k.Name, res.N, res.Steps, res.Checksum)
+	}
+	return nil
+}
+
+func cmdILP(args []string) error {
+	fs := flag.NewFlagSet("ilp", flag.ExitOnError)
+	sizes := fs.String("sizes", "32,64,128", "comma-separated dataset sizes")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	workers := fs.Int("workers", 0, "measurement workers (0 = GOMAXPROCS)")
+	kid := fs.Int("kernel", 0, "benchmark number (0 = all)")
+	fs.Parse(args)
+	ns, err := parseSizes(*sizes)
+	if err != nil {
+		return err
+	}
+	ks, err := selectKernels(*kid)
+	if err != nil {
+		return err
+	}
+	points, err := pbbs.MeasureAll(ks, ns, *seed, *workers)
+	if len(points) > 0 {
+		fmt.Println("Fig. 7 — trace-dataflow ILP, sequential vs parallel dependence model")
+		fmt.Print(pbbs.Fig7Table(points))
+	}
+	return err
+}
+
+func cmdMachine(args []string) error {
+	fs := flag.NewFlagSet("machine", flag.ExitOnError)
+	n := fs.Int("n", 12, "dataset size (kept small: cycle-level simulation)")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	cores := fs.Int("cores", 8, "simulated cores")
+	kid := fs.Int("kernel", 0, "benchmark number (0 = all)")
+	fs.Parse(args)
+	ks, err := selectKernels(*kid)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-3s %-40s %8s %10s %10s %9s %9s %s\n",
+		"#", "benchmark", "n", "instr", "cycles", "IPC", "sections", "status")
+	failed := false
+	for _, k := range ks {
+		kn := k.ClampN(*n)
+		rm, err := k.CrossValidate(*n, *seed, *cores)
+		if err != nil {
+			fmt.Printf("%-3d %-40s %8d %10s %10s %9s %9s FAIL: %v\n",
+				k.ID, k.Name, kn, "-", "-", "-", "-", err)
+			failed = true
+			continue
+		}
+		ipc := float64(rm.Instructions) / float64(rm.Cycles)
+		fmt.Printf("%-3d %-40s %8d %10d %10d %9.2f %9d ok (rax and memory match emulator)\n",
+			k.ID, k.Name, kn, rm.Instructions, rm.Cycles, ipc, len(rm.Machine.Sections))
+	}
+	if failed {
+		return fmt.Errorf("machine/emulator divergence")
+	}
+	return nil
+}
+
+func cmdAnalytic(args []string) error {
+	fs := flag.NewFlagSet("analytic", flag.ExitOnError)
+	maxN := fs.Int("maxn", 8, "largest doubling step")
+	fs.Parse(args)
+	fmt.Println("Section 5 — closed-form scaling of the fork sum over 5·2ⁿ elements")
+	fmt.Printf("%3s %10s %14s %11s %12s %10s %11s %10s\n",
+		"n", "elements", "instructions", "fetch(cyc)", "retire(cyc)", "fetchIPC", "retireIPC", "sections")
+	for _, r := range analytic.Table(*maxN) {
+		fmt.Printf("%3d %10d %14d %11d %12d %10.1f %11.1f %10d\n",
+			r.N, r.Elements, r.Instructions, r.FetchTime, r.RetireTime, r.FetchIPC, r.RetireIPC, r.Sections)
+	}
+	return nil
+}

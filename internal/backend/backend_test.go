@@ -1,0 +1,176 @@
+package backend
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/minic"
+)
+
+// sumSrc sums an injected array; the expected result depends entirely on the
+// injected values, which exercises the inject path on both backends.
+const sumSrc = `
+unsigned long t[16];
+unsigned long n = 16;
+unsigned long sum(unsigned long *p, unsigned long k) {
+    if (k == 1) return p[0];
+    if (k == 2) return p[0] + p[1];
+    return sum(p, k/2) + sum(&p[k/2], k - k/2);
+}
+unsigned long main(void) { return sum(t, n); }
+`
+
+func sumInputs() (Inputs, uint64) {
+	words := make([]uint64, 16)
+	var want uint64
+	for i := range words {
+		words[i] = uint64(i*i + 3)
+		want += words[i]
+	}
+	return Inputs{"t": words}, want
+}
+
+func TestEmulatorRunWithInputs(t *testing.T) {
+	prog, err := minic.Compile(sumSrc, minic.ModeCall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, want := sumInputs()
+	e := NewEmulator()
+	r, err := e.Run(prog, in, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RAX != want {
+		t.Errorf("rax = %d, want %d", r.RAX, want)
+	}
+	if r.Trace == nil || r.Trace.Len() == 0 {
+		t.Error("no trace captured")
+	}
+	if int64(r.Trace.Len()) != r.Instructions {
+		t.Errorf("trace length %d != instructions %d", r.Trace.Len(), r.Instructions)
+	}
+	if r.Cycles != r.Instructions {
+		t.Errorf("emulator cycles %d != instructions %d", r.Cycles, r.Instructions)
+	}
+}
+
+func TestMachineRunWithInputs(t *testing.T) {
+	prog, err := minic.Compile(sumSrc, minic.ModeFork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, want := sumInputs()
+	m := NewMachine(4)
+	r, err := m.Run(prog, in, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RAX != want {
+		t.Errorf("rax = %d, want %d", r.RAX, want)
+	}
+	if r.Machine == nil {
+		t.Error("machine result missing")
+	}
+	if r.Cycles <= 0 {
+		t.Errorf("cycles = %d", r.Cycles)
+	}
+}
+
+func TestCrossValidateAgrees(t *testing.T) {
+	prog, err := minic.Compile(sumSrc, minic.ModeFork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := sumInputs()
+	ra, rb, err := CrossValidate(prog, in, NewEmulator(), NewMachine(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.RAX != rb.RAX {
+		t.Errorf("rax disagree: %d vs %d", ra.RAX, rb.RAX)
+	}
+}
+
+// TestCrossValidateDetectsMemoryDivergence uses a program that stores into
+// its data segment, so the memory sweep has something real to compare.
+func TestCrossValidateMemorySweep(t *testing.T) {
+	src := `
+unsigned long out[8];
+unsigned long main(void) {
+    for (unsigned long i = 0; i < 8; i = i + 1) out[i] = i * 7 + 1;
+    return out[7];
+}
+`
+	prog, err := minic.Compile(src, minic.ModeFork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, _, err := CrossValidate(prog, nil, NewEmulator(), NewMachine(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, ok := prog.DataAddr("out")
+	if !ok {
+		t.Fatal("no out symbol")
+	}
+	for i := uint64(0); i < 8; i++ {
+		if got := ra.Mem.ReadU64(addr + 8*i); got != i*7+1 {
+			t.Errorf("out[%d] = %d, want %d", i, got, i*7+1)
+		}
+	}
+}
+
+func TestInjectUnknownSymbol(t *testing.T) {
+	prog, err := minic.Compile(`long main(void) { return 0; }`, minic.ModeCall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewEmulator().Run(prog, Inputs{"nosuch": {1}}, false)
+	if err == nil || !strings.Contains(err.Error(), "nosuch") {
+		t.Errorf("expected unknown-symbol error, got %v", err)
+	}
+}
+
+func TestBackendMetadata(t *testing.T) {
+	e := NewEmulator()
+	m := NewMachine(8)
+	if e.Mode() != minic.ModeCall || m.Mode() != minic.ModeFork {
+		t.Error("wrong backend modes")
+	}
+	if !e.SupportsTrace() || m.SupportsTrace() {
+		t.Error("wrong trace support")
+	}
+	if e.Name() == "" || m.Name() == "" {
+		t.Error("empty backend names")
+	}
+}
+
+// TestMachineRejectsCallMode: a call-mode program must be refused by the
+// machine backend, mirroring the simulator's fork-only contract.
+func TestMachineRejectsCallMode(t *testing.T) {
+	prog, err := minic.Compile(`long f(void) { return 1; } long main(void) { return f(); }`, minic.ModeCall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMachine(2).Run(prog, nil, false); err == nil {
+		t.Error("machine backend accepted a call/ret program")
+	}
+}
+
+// TestDataSegmentConstant sanity-checks the layout assumption CrossValidate
+// relies on: global arrays live inside [DataBase, DataBase+len(Data)).
+func TestDataSegmentCoversGlobals(t *testing.T) {
+	prog, err := minic.Compile(sumSrc, minic.ModeCall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, ok := prog.DataAddr("t")
+	if !ok {
+		t.Fatal("no t symbol")
+	}
+	if addr < isa.DataBase || addr+16*8 > isa.DataBase+uint64(len(prog.Data)) {
+		t.Errorf("t at %#x not inside data segment [%#x, %#x)", addr, isa.DataBase, isa.DataBase+uint64(len(prog.Data)))
+	}
+}

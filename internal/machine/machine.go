@@ -205,8 +205,8 @@ type Section struct {
 	firstFetch int64
 	curLevel   int32 // fetch-time call level cursor
 	fetchIP    int64
-	stalled    *DynInst          // unresolved control instruction blocking fetch
-	rfSave     [isa.NumRegs]val  // fetch RF snapshot while suspended
+	stalled    *DynInst         // unresolved control instruction blocking fetch
+	rfSave     [isa.NumRegs]val // fetch RF snapshot while suspended
 }
 
 func (s *Section) fullyRenamed() bool {

@@ -12,12 +12,12 @@ import (
 // a Fig. 10 table. A zero means the stage does not apply (e.g. ar/ma for a
 // register-register instruction).
 type InstTiming struct {
-	Section int64 // section ID
-	SecPos  int   // final position in the total section order
-	Idx     int   // ordinal within the section (1-based in Label)
-	IP      int64
-	Text    string
-	Level   int32
+	Section                 int64 // section ID
+	SecPos                  int   // final position in the total section order
+	Idx                     int   // ordinal within the section (1-based in Label)
+	IP                      int64
+	Text                    string
+	Level                   int32
 	FD, RR, EW, AR, MA, RET int64
 }
 

@@ -25,7 +25,7 @@ var (
 	tyULong = &Type{Kind: TypeULong}
 )
 
-func ptrTo(t *Type) *Type   { return &Type{Kind: TypePtr, Elem: t} }
+func ptrTo(t *Type) *Type            { return &Type{Kind: TypePtr, Elem: t} }
 func arrayOf(t *Type, n int64) *Type { return &Type{Kind: TypeArray, Elem: t, Len: n} }
 
 // IsInteger reports whether t is long or unsigned long.
@@ -165,8 +165,8 @@ type Function struct {
 
 // Program is a parsed and checked mini-C translation unit.
 type Program struct {
-	Globals   []*GlobalVar
-	Functions []*Function
+	Globals    []*GlobalVar
+	Functions  []*Function
 	funcByName map[string]*Function
 	globByName map[string]*GlobalVar
 }

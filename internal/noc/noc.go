@@ -186,8 +186,8 @@ func (h msgHeap) Less(i, j int) bool {
 	}
 	return h[i].Seq < h[j].Seq
 }
-func (h msgHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *msgHeap) Push(x any)        { *h = append(*h, x.(Message)) }
+func (h msgHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *msgHeap) Push(x any)   { *h = append(*h, x.(Message)) }
 func (h *msgHeap) Pop() any {
 	old := *h
 	n := len(old)

@@ -1,0 +1,93 @@
+package pbbs
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Batch harness: measure many (kernel, dataset size) points concurrently and
+// aggregate them into the paper's Fig. 7 report. Each point compiles, runs
+// and analyses independently, so a plain worker pool scales it.
+
+// measureJob is one (kernel, size) point of the Fig. 7 sweep.
+type measureJob struct {
+	k *Kernel
+	n int
+}
+
+// MeasureAll measures every kernel at every dataset size with a pool of
+// workers (workers <= 0 uses GOMAXPROCS). The points come back sorted by
+// (benchmark ID, size). Per-point failures are collected and joined; the
+// successfully measured points are still returned.
+func MeasureAll(kernels []*Kernel, sizes []int, seed uint64, workers int) ([]*ILPPoint, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	jobs := make(chan measureJob)
+	var mu sync.Mutex
+	var points []*ILPPoint
+	var errs []error
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				p, err := j.k.MeasureILP(j.n, seed)
+				mu.Lock()
+				if err != nil {
+					errs = append(errs, err)
+				} else {
+					points = append(points, p)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, k := range kernels {
+		// Sizes below the kernel's minimum clamp to the same point; dedup so
+		// the sweep measures each (kernel, effective size) once.
+		seen := make(map[int]bool, len(sizes))
+		for _, n := range sizes {
+			n = k.ClampN(n)
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			jobs <- measureJob{k: k, n: n}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].Kernel.ID != points[j].Kernel.ID {
+			return points[i].Kernel.ID < points[j].Kernel.ID
+		}
+		return points[i].N < points[j].N
+	})
+	return points, errors.Join(errs...)
+}
+
+// Fig7Table renders measured points as the paper's Fig. 7 (Table 1) style
+// report: one row per (benchmark, size) with the trace length and the ILP
+// under the sequential and parallel dependence models.
+func Fig7Table(points []*ILPPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-3s %-40s %8s %10s %9s %9s %9s\n",
+		"#", "benchmark", "n", "instr", "seq-ILP", "par-ILP", "par/seq")
+	last := 0
+	for _, p := range points {
+		id := ""
+		if p.Kernel.ID != last {
+			id = fmt.Sprintf("%d", p.Kernel.ID)
+			last = p.Kernel.ID
+		}
+		fmt.Fprintf(&b, "%-3s %-40s %8d %10d %9.1f %9.1f %9.1f\n",
+			id, p.Kernel.Name, p.N, p.Instructions, p.SeqILP, p.ParILP, p.Speedup())
+	}
+	return b.String()
+}

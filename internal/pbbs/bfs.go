@@ -1,0 +1,80 @@
+package pbbs
+
+import "fmt"
+
+// Benchmark 1 — breadthFirstSearch/deterministicBFS.
+//
+// Single-source BFS from vertex 0 over a random undirected CSR graph, with
+// an explicit FIFO queue; the checksum folds every vertex's hop distance
+// (unreached vertices keep the "infinity" sentinel).
+
+func bfsSource(n int) string {
+	m := graphDegree * n
+	return fmt.Sprintf(`
+unsigned long off[%d];
+unsigned long adj[%d];
+unsigned long dist[%d];
+unsigned long fifo[%d];
+unsigned long main(void) {
+    unsigned long n = %d;
+    unsigned long none = 0xffffffffffffffff;
+    for (unsigned long i = 0; i < n; i = i + 1) dist[i] = none;
+    dist[0] = 0;
+    fifo[0] = 0;
+    unsigned long head = 0;
+    unsigned long tail = 1;
+    while (head < tail) {
+        unsigned long u = fifo[head];
+        head = head + 1;
+        for (unsigned long e = off[u]; e < off[u + 1]; e = e + 1) {
+            unsigned long v = adj[e];
+            if (dist[v] == none) {
+                dist[v] = dist[u] + 1;
+                fifo[tail] = v;
+                tail = tail + 1;
+            }
+        }
+    }
+    unsigned long s = 0;
+    for (unsigned long i = 0; i < n; i = i + 1) s = s * 31 + dist[i];
+    return s;
+}`, n+1, 2*m, n, n, n)
+}
+
+func bfsRef(n int, in Inputs) uint64 {
+	off, adj := in["off"], in["adj"]
+	const none = ^uint64(0)
+	dist := make([]uint64, n)
+	for i := range dist {
+		dist[i] = none
+	}
+	fifo := make([]uint64, 0, n)
+	dist[0] = 0
+	fifo = append(fifo, 0)
+	for head := 0; head < len(fifo); head++ {
+		u := fifo[head]
+		for e := off[u]; e < off[u+1]; e++ {
+			v := adj[e]
+			if dist[v] == none {
+				dist[v] = dist[u] + 1
+				fifo = append(fifo, v)
+			}
+		}
+	}
+	var s uint64
+	for i := 0; i < n; i++ {
+		s = mix(s, dist[i])
+	}
+	return s
+}
+
+func init() {
+	Register(&Kernel{
+		ID:     1,
+		Name:   "breadthFirstSearch/deterministicBFS",
+		MinN:   2,
+		Source: bfsSource,
+		Gen:    func(n int, seed uint64) Inputs { return genCSRGraph(n, seed+1*0x9e3779b9) },
+		Ref:    bfsRef,
+	})
+}

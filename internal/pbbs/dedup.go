@@ -1,0 +1,66 @@
+package pbbs
+
+import "fmt"
+
+// Benchmark 10 — removeDuplicates/deterministicHash.
+//
+// Hash-based duplicate removal over keys drawn from a small range (so
+// duplicates are plentiful): the first occurrence of each value claims a
+// table slot. The checksum folds the distinct count and the sum of distinct
+// values, both order-independent, so the Go reference uses a map.
+
+func dedupSource(n int) string {
+	t, shift := hashTableSize(n)
+	return fmt.Sprintf(`
+unsigned long a[%d];
+unsigned long tab[%d];
+unsigned long main(void) {
+    unsigned long n = %d;
+    unsigned long cnt = 0;
+    unsigned long sum = 0;
+    for (unsigned long i = 0; i < n; i = i + 1) {
+        unsigned long k = a[i] + 1;
+        unsigned long h = k * 0x9e3779b97f4a7c15 >> %d;
+        while (tab[h] != 0 && tab[h] != k) h = (h + 1) & %d;
+        if (tab[h] == 0) {
+            tab[h] = k;
+            cnt = cnt + 1;
+            sum = sum + a[i];
+        }
+    }
+    return cnt * 0x9e3779b97f4a7c15 + sum;
+}`, n, t, n, shift, t-1)
+}
+
+func dedupGen(n int, seed uint64) Inputs {
+	r := newRNG(seed + 10*0x9e3779b9)
+	a := make([]uint64, n)
+	for i := range a {
+		a[i] = r.uintn(uint64(n))
+	}
+	return Inputs{"a": a}
+}
+
+func dedupRef(n int, in Inputs) uint64 {
+	seen := make(map[uint64]bool)
+	var cnt, sum uint64
+	for _, v := range in["a"] {
+		if !seen[v] {
+			seen[v] = true
+			cnt++
+			sum += v
+		}
+	}
+	return cnt*0x9e3779b97f4a7c15 + sum
+}
+
+func init() {
+	Register(&Kernel{
+		ID:     10,
+		Name:   "removeDuplicates/deterministicHash",
+		MinN:   2,
+		Source: dedupSource,
+		Gen:    dedupGen,
+		Ref:    dedupRef,
+	})
+}

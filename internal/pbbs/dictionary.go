@@ -1,0 +1,95 @@
+package pbbs
+
+import "fmt"
+
+// Benchmark 4 — dictionary/deterministicHash.
+//
+// Open-addressing hash table (Fibonacci hashing, linear probing) at load
+// factor <= 1/4: insert n keys with duplicates, then probe n queries (half
+// drawn from the inserted keys, half random). The checksum folds the final
+// probe slot of every hit and a sentinel for every miss, so it pins down the
+// exact probe sequences. The Go reference mirrors the table byte for byte.
+
+func dictionarySource(n int) string {
+	t, shift := hashTableSize(n)
+	return fmt.Sprintf(`
+unsigned long keys[%d];
+unsigned long qrys[%d];
+unsigned long tab[%d];
+unsigned long main(void) {
+    unsigned long n = %d;
+    for (unsigned long i = 0; i < n; i = i + 1) {
+        unsigned long k = keys[i] + 1;
+        unsigned long h = k * 0x9e3779b97f4a7c15 >> %d;
+        while (tab[h] != 0 && tab[h] != k) h = (h + 1) & %d;
+        tab[h] = k;
+    }
+    unsigned long s = 0;
+    for (unsigned long i = 0; i < n; i = i + 1) {
+        unsigned long k = qrys[i] + 1;
+        unsigned long h = k * 0x9e3779b97f4a7c15 >> %d;
+        while (tab[h] != 0 && tab[h] != k) h = (h + 1) & %d;
+        if (tab[h] == k) s = s * 31 + h;
+        else s = s * 31 + 0xdeadbeef;
+    }
+    return s;
+}`, n, n, t, n, shift, t-1, shift, t-1)
+}
+
+func dictionaryGen(n int, seed uint64) Inputs {
+	r := newRNG(seed + 4*0x9e3779b9)
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = r.uintn(1 << 30)
+	}
+	qrys := make([]uint64, n)
+	for i := range qrys {
+		if i%2 == 0 {
+			qrys[i] = keys[r.uintn(uint64(n))]
+		} else {
+			qrys[i] = r.uintn(1 << 30)
+		}
+	}
+	return Inputs{"keys": keys, "qrys": qrys}
+}
+
+func dictionaryRef(n int, in Inputs) uint64 {
+	keys, qrys := in["keys"], in["qrys"]
+	t, sh := hashTableSize(n)
+	shift := uint(sh)
+	mask := uint64(t - 1)
+	tab := make([]uint64, t)
+	probe := func(k uint64) uint64 {
+		h := k * 0x9e3779b97f4a7c15 >> shift
+		for tab[h] != 0 && tab[h] != k {
+			h = (h + 1) & mask
+		}
+		return h
+	}
+	for i := 0; i < n; i++ {
+		k := keys[i] + 1
+		tab[probe(k)] = k
+	}
+	var s uint64
+	for i := 0; i < n; i++ {
+		k := qrys[i] + 1
+		h := probe(k)
+		if tab[h] == k {
+			s = mix(s, h)
+		} else {
+			s = mix(s, 0xdeadbeef)
+		}
+	}
+	return s
+}
+
+func init() {
+	Register(&Kernel{
+		ID:     4,
+		Name:   "dictionary/deterministicHash",
+		MinN:   2,
+		Source: dictionarySource,
+		Gen:    dictionaryGen,
+		Ref:    dictionaryRef,
+	})
+}

@@ -1,0 +1,85 @@
+package pbbs
+
+// Shared deterministic input generators for the graph kernels. Graphs are
+// random multigraphs: m independently drawn (u, v) pairs over n vertices.
+// Self-loops and parallel edges are kept; every kernel's mini-C code and Go
+// reference handle them identically, so the cross-check stays exact.
+
+// graphDegree is the edge-to-vertex ratio of the generated graphs
+// (m = graphDegree·n), matching the sparse inputs PBBS uses.
+const graphDegree = 3
+
+// randEdges draws m endpoint pairs over n vertices.
+func randEdges(n, m int, r *rng) (eu, ev []uint64) {
+	eu = make([]uint64, m)
+	ev = make([]uint64, m)
+	for i := 0; i < m; i++ {
+		eu[i] = r.uintn(uint64(n))
+		ev[i] = r.uintn(uint64(n))
+	}
+	return eu, ev
+}
+
+// csrFromEdges builds the undirected CSR adjacency of the edge list: off has
+// n+1 entries and adj has 2m entries (each edge contributes both directions;
+// a self-loop contributes its endpoint twice).
+func csrFromEdges(n int, eu, ev []uint64) (off, adj []uint64) {
+	deg := make([]uint64, n)
+	for i := range eu {
+		deg[eu[i]]++
+		deg[ev[i]]++
+	}
+	off = make([]uint64, n+1)
+	for v := 0; v < n; v++ {
+		off[v+1] = off[v] + deg[v]
+	}
+	adj = make([]uint64, 2*len(eu))
+	cur := make([]uint64, n)
+	copy(cur, off[:n])
+	for i := range eu {
+		u, v := eu[i], ev[i]
+		adj[cur[u]] = v
+		cur[u]++
+		adj[cur[v]] = u
+		cur[v]++
+	}
+	return off, adj
+}
+
+// genCSRGraph returns CSR inputs {off, adj} for an n-vertex random graph.
+func genCSRGraph(n int, seed uint64) Inputs {
+	r := newRNG(seed)
+	eu, ev := randEdges(n, graphDegree*n, r)
+	off, adj := csrFromEdges(n, eu, ev)
+	return Inputs{"off": off, "adj": adj}
+}
+
+// mix is the checksum accumulator every kernel uses; it must match the
+// mini-C expression `s = s * 31 + v` exactly (64-bit wrapping).
+func mix(s, v uint64) uint64 { return s*31 + v }
+
+// hashTableSize returns the open-addressing table geometry the hashing
+// kernels share for n keys: a power-of-two size keeping the load factor
+// <= 1/4, and the matching Fibonacci-hash downshift.
+func hashTableSize(n int) (size, shift int) {
+	size = nextPow2(4 * n)
+	return size, 64 - log2(size)
+}
+
+// nextPow2 returns the smallest power of two >= x (and >= 2).
+func nextPow2(x int) int {
+	p := 2
+	for p < x {
+		p *= 2
+	}
+	return p
+}
+
+// log2 returns the base-2 logarithm of the power of two p.
+func log2(p int) int {
+	k := 0
+	for 1<<k < p {
+		k++
+	}
+	return k
+}

@@ -1,0 +1,118 @@
+package pbbs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Benchmark 8 — minSpanningForest/parallelKruskal.
+//
+// Kruskal's minimum spanning forest: quicksort the edge list by weight, then
+// scan it with a union-find (path halving). The checksum folds the total
+// forest weight and the number of tree edges — both are invariant across any
+// tie-breaking of equal weights (the matroid exchange property), so the Go
+// reference may sort its own way.
+
+func kruskalSource(n int) string {
+	m := graphDegree * n
+	return fmt.Sprintf(`
+unsigned long eu[%d];
+unsigned long ev[%d];
+unsigned long ew[%d];
+unsigned long parent[%d];
+unsigned long find(unsigned long x) {
+    while (parent[x] != x) {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+    }
+    return x;
+}
+void qs(long lo, long hi) {
+    if (lo >= hi) return;
+    unsigned long p = ew[hi];
+    long i = lo;
+    for (long j = lo; j < hi; j = j + 1) {
+        if (ew[j] < p) {
+            unsigned long t = ew[i]; ew[i] = ew[j]; ew[j] = t;
+            t = eu[i]; eu[i] = eu[j]; eu[j] = t;
+            t = ev[i]; ev[i] = ev[j]; ev[j] = t;
+            i = i + 1;
+        }
+    }
+    unsigned long t = ew[i]; ew[i] = ew[hi]; ew[hi] = t;
+    t = eu[i]; eu[i] = eu[hi]; eu[hi] = t;
+    t = ev[i]; ev[i] = ev[hi]; ev[hi] = t;
+    qs(lo, i - 1);
+    qs(i + 1, hi);
+}
+unsigned long main(void) {
+    unsigned long n = %d;
+    unsigned long m = %d;
+    for (unsigned long v = 0; v < n; v = v + 1) parent[v] = v;
+    qs(0, %d);
+    unsigned long w = 0;
+    unsigned long taken = 0;
+    for (unsigned long e = 0; e < m; e = e + 1) {
+        unsigned long ru = find(eu[e]);
+        unsigned long rv = find(ev[e]);
+        if (ru != rv) {
+            parent[ru] = rv;
+            w = w + ew[e];
+            taken = taken + 1;
+        }
+    }
+    return w * 0x9e3779b97f4a7c15 + taken;
+}`, m, m, m, n, n, m, m-1)
+}
+
+func kruskalGen(n int, seed uint64) Inputs {
+	r := newRNG(seed + 8*0x9e3779b9)
+	m := graphDegree * n
+	eu, ev := randEdges(n, m, r)
+	ew := make([]uint64, m)
+	for i := range ew {
+		ew[i] = r.uintn(1 << 40)
+	}
+	return Inputs{"eu": eu, "ev": ev, "ew": ew}
+}
+
+func kruskalRef(n int, in Inputs) uint64 {
+	eu, ev, ew := in["eu"], in["ev"], in["ew"]
+	order := make([]int, len(ew))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return ew[order[a]] < ew[order[b]] })
+	parent := make([]uint64, n)
+	for v := range parent {
+		parent[v] = uint64(v)
+	}
+	find := func(x uint64) uint64 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	var w, taken uint64
+	for _, e := range order {
+		ru, rv := find(eu[e]), find(ev[e])
+		if ru != rv {
+			parent[ru] = rv
+			w += ew[e]
+			taken++
+		}
+	}
+	return w*0x9e3779b97f4a7c15 + taken
+}
+
+func init() {
+	Register(&Kernel{
+		ID:     8,
+		Name:   "minSpanningForest/parallelKruskal",
+		MinN:   2,
+		Source: kruskalSource,
+		Gen:    kruskalGen,
+		Ref:    kruskalRef,
+	})
+}

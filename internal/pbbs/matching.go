@@ -1,0 +1,68 @@
+package pbbs
+
+import "fmt"
+
+// Benchmark 7 — maximalMatching/ndMatching.
+//
+// Greedy maximal matching in edge order over a random edge list: an edge is
+// taken when both endpoints are still free. The checksum folds both the
+// accepted edge indices and the final mate array.
+
+func matchingSource(n int) string {
+	m := graphDegree * n
+	return fmt.Sprintf(`
+unsigned long eu[%d];
+unsigned long ev[%d];
+unsigned long mate[%d];
+unsigned long main(void) {
+    unsigned long m = %d;
+    unsigned long n = %d;
+    unsigned long s = 0;
+    for (unsigned long e = 0; e < m; e = e + 1) {
+        unsigned long u = eu[e];
+        unsigned long v = ev[e];
+        if (u != v && mate[u] == 0 && mate[v] == 0) {
+            mate[u] = v + 1;
+            mate[v] = u + 1;
+            s = s * 31 + e;
+        }
+    }
+    for (unsigned long v = 0; v < n; v = v + 1) s = s * 31 + mate[v];
+    return s;
+}`, m, m, n, m, n)
+}
+
+func matchingGen(n int, seed uint64) Inputs {
+	r := newRNG(seed + 7*0x9e3779b9)
+	eu, ev := randEdges(n, graphDegree*n, r)
+	return Inputs{"eu": eu, "ev": ev}
+}
+
+func matchingRef(n int, in Inputs) uint64 {
+	eu, ev := in["eu"], in["ev"]
+	mate := make([]uint64, n)
+	var s uint64
+	for e := range eu {
+		u, v := eu[e], ev[e]
+		if u != v && mate[u] == 0 && mate[v] == 0 {
+			mate[u] = v + 1
+			mate[v] = u + 1
+			s = mix(s, uint64(e))
+		}
+	}
+	for v := 0; v < n; v++ {
+		s = mix(s, mate[v])
+	}
+	return s
+}
+
+func init() {
+	Register(&Kernel{
+		ID:     7,
+		Name:   "maximalMatching/ndMatching",
+		MinN:   2,
+		Source: matchingSource,
+		Gen:    matchingGen,
+		Ref:    matchingRef,
+	})
+}

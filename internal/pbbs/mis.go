@@ -1,0 +1,62 @@
+package pbbs
+
+import "fmt"
+
+// Benchmark 6 — maximalIndependentSet/ndMIS.
+//
+// Greedy maximal independent set in vertex order over a random undirected
+// CSR graph: a vertex joins the set when no lower-numbered neighbour already
+// did. The vertex numbering plays the role of the random priorities of the
+// PBBS non-deterministic MIS (the numbering itself is randomly generated).
+
+func misSource(n int) string {
+	m := graphDegree * n
+	return fmt.Sprintf(`
+unsigned long off[%d];
+unsigned long adj[%d];
+unsigned long flag[%d];
+unsigned long main(void) {
+    unsigned long n = %d;
+    for (unsigned long v = 0; v < n; v = v + 1) {
+        unsigned long ok = 1;
+        for (unsigned long e = off[v]; e < off[v + 1]; e = e + 1) {
+            unsigned long u = adj[e];
+            if (u < v && flag[u]) ok = 0;
+        }
+        flag[v] = ok;
+    }
+    unsigned long s = 0;
+    for (unsigned long v = 0; v < n; v = v + 1) s = s * 31 + flag[v] * (v + 1);
+    return s;
+}`, n+1, 2*m, n, n)
+}
+
+func misRef(n int, in Inputs) uint64 {
+	off, adj := in["off"], in["adj"]
+	flag := make([]uint64, n)
+	for v := uint64(0); v < uint64(n); v++ {
+		ok := uint64(1)
+		for e := off[v]; e < off[v+1]; e++ {
+			if u := adj[e]; u < v && flag[u] != 0 {
+				ok = 0
+			}
+		}
+		flag[v] = ok
+	}
+	var s uint64
+	for v := uint64(0); v < uint64(n); v++ {
+		s = mix(s, flag[v]*(v+1))
+	}
+	return s
+}
+
+func init() {
+	Register(&Kernel{
+		ID:     6,
+		Name:   "maximalIndependentSet/ndMIS",
+		MinN:   2,
+		Source: misSource,
+		Gen:    func(n int, seed uint64) Inputs { return genCSRGraph(n, seed+6*0x9e3779b9) },
+		Ref:    misRef,
+	})
+}

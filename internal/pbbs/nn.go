@@ -1,0 +1,79 @@
+package pbbs
+
+import (
+	"fmt"
+	"math"
+)
+
+// Benchmark 9 — nearestNeighbors/allNearestNeighbors.
+//
+// All-pairs nearest neighbour over random integer points (exact quadratic
+// scan; PBBS uses a quadtree — see DESIGN.md). Ties resolve to the lowest
+// index; the checksum folds every point's neighbour index.
+
+func nnSource(n int) string {
+	return fmt.Sprintf(`
+long px[%d];
+long py[%d];
+unsigned long main(void) {
+    unsigned long s = 0;
+    for (long i = 0; i < %d; i = i + 1) {
+        long best = 0 - 1;
+        long bd = 0x7fffffffffffffff;
+        for (long j = 0; j < %d; j = j + 1) {
+            if (j != i) {
+                long dx = px[i] - px[j];
+                long dy = py[i] - py[j];
+                long d = dx * dx + dy * dy;
+                if (d < bd) { bd = d; best = j; }
+            }
+        }
+        s = s * 31 + best;
+    }
+    return s;
+}`, n, n, n, n)
+}
+
+func nnGen(n int, seed uint64) Inputs {
+	r := newRNG(seed + 9*0x9e3779b9)
+	px := make([]uint64, n)
+	py := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		px[i] = r.uintn(1 << 20)
+		py[i] = r.uintn(1 << 20)
+	}
+	return Inputs{"px": px, "py": py}
+}
+
+func nnRef(n int, in Inputs) uint64 {
+	px, py := in["px"], in["py"]
+	var s uint64
+	for i := 0; i < n; i++ {
+		best := int64(-1)
+		bd := int64(math.MaxInt64)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			dx := int64(px[i]) - int64(px[j])
+			dy := int64(py[i]) - int64(py[j])
+			if d := dx*dx + dy*dy; d < bd {
+				bd = d
+				best = int64(j)
+			}
+		}
+		s = mix(s, uint64(best))
+	}
+	return s
+}
+
+func init() {
+	Register(&Kernel{
+		ID:     9,
+		Name:   "nearestNeighbors/allNearestNeighbors",
+		MinN:   2,
+		Source: nnSource,
+		Gen:    nnGen,
+		Ref:    nnRef,
+	})
+}

@@ -14,12 +14,17 @@
 // Every kernel's mini-C main returns a checksum that the harness validates
 // against a pure-Go reference implementation, so the compiler, emulator and
 // workload generators are cross-checked on every run.
+//
+// Kernels self-register at package init (Register), so adding a workload is
+// a one-file drop-in: define Source/Gen/Ref, call Register, and the batch
+// harness, the CLI and the cross-validation tests pick it up.
 package pbbs
 
 import (
 	"fmt"
+	"sort"
 
-	"repro/internal/emu"
+	"repro/internal/backend"
 	"repro/internal/ilp"
 	"repro/internal/isa"
 	"repro/internal/minic"
@@ -54,7 +59,7 @@ func (r *rng) uintn(n uint64) uint64 {
 
 // Inputs maps data-segment symbols to the 64-bit words to inject before the
 // run.
-type Inputs map[string][]uint64
+type Inputs = backend.Inputs
 
 // Kernel is one benchmark of Table 1.
 type Kernel struct {
@@ -62,6 +67,8 @@ type Kernel struct {
 	ID int
 	// Name is the paper's "suite/implementation" label.
 	Name string
+	// MinN is the smallest dataset size the kernel supports.
+	MinN int
 	// Source generates the mini-C program for a dataset of n elements.
 	Source func(n int) string
 	// Gen generates the input arrays for a dataset of n elements.
@@ -70,69 +77,139 @@ type Kernel struct {
 	Ref func(n int, in Inputs) uint64
 }
 
-// Build compiles the kernel for a dataset size.
-func (k *Kernel) Build(n int) (*isa.Program, error) {
-	return minic.Compile(k.Source(n), minic.ModeCall)
+// registry holds the self-registered kernels, keyed by benchmark number.
+var registry = make(map[int]*Kernel)
+
+// Register adds a kernel to the suite. It is called from package init
+// functions (one per kernel file) and panics on malformed or duplicate
+// registrations, since either is a programming error.
+func Register(k *Kernel) {
+	switch {
+	case k == nil:
+		panic("pbbs: Register(nil)")
+	case k.ID <= 0:
+		panic(fmt.Sprintf("pbbs: kernel %q has non-positive ID %d", k.Name, k.ID))
+	case k.Name == "":
+		panic(fmt.Sprintf("pbbs: kernel %d has no name", k.ID))
+	case k.Source == nil || k.Gen == nil || k.Ref == nil:
+		panic(fmt.Sprintf("pbbs: kernel %d (%s) is missing Source/Gen/Ref", k.ID, k.Name))
+	}
+	if prev, dup := registry[k.ID]; dup {
+		panic(fmt.Sprintf("pbbs: duplicate benchmark ID %d (%s and %s)", k.ID, prev.Name, k.Name))
+	}
+	if k.MinN <= 0 {
+		k.MinN = 4
+	}
+	registry[k.ID] = k
 }
 
-// inject writes the inputs into the CPU's memory at their symbol addresses.
-func inject(prog *isa.Program, cpu *emu.CPU, in Inputs) error {
-	for sym, words := range in {
-		addr, ok := prog.DataAddr(sym)
-		if !ok {
-			return fmt.Errorf("pbbs: program has no data symbol %q", sym)
-		}
-		for i, w := range words {
-			cpu.Mem.WriteU64(addr+uint64(8*i), w)
-		}
+// Kernels returns the registered benchmarks in the paper's (ID) order.
+func Kernels() []*Kernel {
+	ks := make([]*Kernel, 0, len(registry))
+	for _, k := range registry {
+		ks = append(ks, k)
 	}
-	return nil
+	sort.Slice(ks, func(i, j int) bool { return ks[i].ID < ks[j].ID })
+	return ks
+}
+
+// ByID returns the kernel with the paper's benchmark number.
+func ByID(id int) (*Kernel, error) {
+	if k, ok := registry[id]; ok {
+		return k, nil
+	}
+	return nil, fmt.Errorf("pbbs: no benchmark %d", id)
+}
+
+// ClampN returns the dataset size the kernel actually runs at for a
+// requested n: n itself, or MinN when n is below the kernel's minimum.
+func (k *Kernel) ClampN(n int) int {
+	if n < k.MinN {
+		return k.MinN
+	}
+	return n
+}
+
+func (k *Kernel) clampN(n int) int { return k.ClampN(n) }
+
+// Build compiles the kernel for a dataset size in the given calling
+// convention (ModeCall for the emulator, ModeFork for the machine).
+func (k *Kernel) Build(n int, mode minic.Mode) (*isa.Program, error) {
+	return minic.Compile(k.Source(k.clampN(n)), mode)
 }
 
 // RunResult is the outcome of one kernel execution.
 type RunResult struct {
 	Kernel   *Kernel
 	N        int
+	Backend  string
 	Checksum uint64
 	Expected uint64
-	Steps    int64
+	Steps    int64        // dynamic instructions
+	Cycles   int64        // simulated cycles (== Steps on the emulator)
 	Trace    *trace.Trace // nil unless traced
 }
 
-// Run executes the kernel on the emulator, optionally capturing the trace,
-// and validates the checksum against the Go reference.
-func (k *Kernel) Run(n int, seed uint64, traced bool) (*RunResult, error) {
-	prog, err := k.Build(n)
+// RunOn compiles the kernel in the backend's calling convention, executes it
+// there, and validates the checksum against the Go reference.
+func (k *Kernel) RunOn(b backend.Backend, n int, seed uint64, traced bool) (*RunResult, error) {
+	if traced && !b.SupportsTrace() {
+		return nil, fmt.Errorf("pbbs: %s: backend %s cannot capture traces", k.Name, b.Name())
+	}
+	n = k.clampN(n)
+	prog, err := k.Build(n, b.Mode())
 	if err != nil {
 		return nil, fmt.Errorf("pbbs: %s (n=%d): %w", k.Name, n, err)
 	}
 	in := k.Gen(n, seed)
-	cpu := emu.New(prog)
-	cpu.MaxSteps = 1 << 31
-	var tr *trace.Trace
-	if traced {
-		tr = &trace.Trace{}
-		cpu.TraceHook = func(r *trace.Record) { tr.Append(*r) }
-	}
-	if err := inject(prog, cpu, in); err != nil {
-		return nil, err
-	}
-	if _, err := cpu.Run(); err != nil {
-		return nil, fmt.Errorf("pbbs: %s (n=%d): %w", k.Name, n, err)
+	r, err := b.Run(prog, in, traced)
+	if err != nil {
+		return nil, fmt.Errorf("pbbs: %s (n=%d) on %s: %w", k.Name, n, b.Name(), err)
 	}
 	res := &RunResult{
 		Kernel:   k,
 		N:        n,
-		Checksum: cpu.Result(),
+		Backend:  b.Name(),
+		Checksum: r.RAX,
 		Expected: k.Ref(n, in),
-		Steps:    cpu.Steps,
-		Trace:    tr,
+		Steps:    r.Instructions,
+		Cycles:   r.Cycles,
+		Trace:    r.Trace,
 	}
 	if res.Checksum != res.Expected {
-		return res, fmt.Errorf("pbbs: %s (n=%d): checksum %d, reference %d",
-			k.Name, n, res.Checksum, res.Expected)
+		return res, fmt.Errorf("pbbs: %s (n=%d) on %s: checksum %d, reference %d",
+			k.Name, n, b.Name(), res.Checksum, res.Expected)
 	}
 	return res, nil
+}
+
+// Run executes the kernel on the sequential emulator, optionally capturing
+// the trace, and validates the checksum against the Go reference.
+func (k *Kernel) Run(n int, seed uint64, traced bool) (*RunResult, error) {
+	return k.RunOn(backend.NewEmulator(), n, seed, traced)
+}
+
+// CrossValidate compiles the kernel in fork mode and runs it with identical
+// inputs on the sequential emulator and on the many-core machine, checking
+// that both agree on the final rax and the full data segment, and that the
+// result matches the Go reference checksum. It returns the machine result.
+func (k *Kernel) CrossValidate(n int, seed uint64, cores int) (*backend.Result, error) {
+	n = k.clampN(n)
+	mb := backend.NewMachine(cores)
+	prog, err := k.Build(n, mb.Mode())
+	if err != nil {
+		return nil, fmt.Errorf("pbbs: %s (n=%d): %w", k.Name, n, err)
+	}
+	in := k.Gen(n, seed)
+	_, rm, err := backend.CrossValidate(prog, in, backend.NewEmulator(), mb)
+	if err != nil {
+		return rm, fmt.Errorf("pbbs: %s (n=%d): %w", k.Name, n, err)
+	}
+	if want := k.Ref(n, in); rm.RAX != want {
+		return rm, fmt.Errorf("pbbs: %s (n=%d): machine checksum %d, reference %d",
+			k.Name, n, rm.RAX, want)
+	}
+	return rm, nil
 }
 
 // ILPPoint is one bar of Fig. 7: a kernel at a dataset size under both
@@ -145,8 +222,17 @@ type ILPPoint struct {
 	ParILP       float64
 }
 
-// MeasureILP runs the kernel traced and analyses the trace under the
-// paper's sequential and parallel models.
+// Speedup returns the parallel-over-sequential ILP ratio the paper
+// highlights ("the potential of the parallel model").
+func (p *ILPPoint) Speedup() float64 {
+	if p.SeqILP == 0 {
+		return 0
+	}
+	return p.ParILP / p.SeqILP
+}
+
+// MeasureILP runs the kernel traced on the emulator and analyses the trace
+// under the paper's sequential and parallel models.
 func (k *Kernel) MeasureILP(n int, seed uint64) (*ILPPoint, error) {
 	res, err := k.Run(n, seed, true)
 	if err != nil {
@@ -156,35 +242,9 @@ func (k *Kernel) MeasureILP(n int, seed uint64) (*ILPPoint, error) {
 	par := ilp.Analyze(res.Trace, ilp.Parallel())
 	return &ILPPoint{
 		Kernel:       k,
-		N:            n,
+		N:            res.N,
 		Instructions: res.Trace.Len(),
 		SeqILP:       seq.ILP,
 		ParILP:       par.ILP,
 	}, nil
-}
-
-// Kernels returns the ten benchmarks of Table 1 in the paper's order.
-func Kernels() []*Kernel {
-	return []*Kernel{
-		BFS(),
-		QuickSort(),
-		QuickHull(),
-		Dictionary(),
-		RadixSort(),
-		MIS(),
-		Matching(),
-		Kruskal(),
-		NearestNeighbors(),
-		RemoveDuplicates(),
-	}
-}
-
-// ByID returns the kernel with the paper's benchmark number.
-func ByID(id int) (*Kernel, error) {
-	for _, k := range Kernels() {
-		if k.ID == id {
-			return k, nil
-		}
-	}
-	return nil, fmt.Errorf("pbbs: no benchmark %d", id)
 }

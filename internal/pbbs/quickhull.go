@@ -1,0 +1,103 @@
+package pbbs
+
+import "fmt"
+
+// Benchmark 3 — convexHull/quickHull.
+//
+// Recursive quickhull over random integer points: for each oriented segment
+// (a, b), the farthest point strictly to its left becomes a hull vertex and
+// splits the segment. The full point set is rescanned at each call (an
+// O(n·h) variant); the recursion order is deterministic, and the Go
+// reference mirrors it exactly, including the order-sensitive checksum.
+
+func quickhullSource(n int) string {
+	return fmt.Sprintf(`
+long px[%d];
+long py[%d];
+unsigned long hsum = 0;
+unsigned long hcnt = 0;
+void findhull(long ax, long ay, long bx, long by) {
+    long best = 0 - 1;
+    long bestd = 0;
+    for (long i = 0; i < %d; i = i + 1) {
+        long d = (bx - ax) * (py[i] - ay) - (by - ay) * (px[i] - ax);
+        if (d > bestd) { bestd = d; best = i; }
+    }
+    if (best < 0) return;
+    hsum = hsum * 31 + px[best] * 7 + py[best];
+    hcnt = hcnt + 1;
+    findhull(ax, ay, px[best], py[best]);
+    findhull(px[best], py[best], bx, by);
+}
+unsigned long main(void) {
+    long lo = 0;
+    long hi = 0;
+    for (long i = 1; i < %d; i = i + 1) {
+        if (px[i] < px[lo] || (px[i] == px[lo] && py[i] < py[lo])) lo = i;
+        if (px[i] > px[hi] || (px[i] == px[hi] && py[i] > py[hi])) hi = i;
+    }
+    findhull(px[lo], py[lo], px[hi], py[hi]);
+    findhull(px[hi], py[hi], px[lo], py[lo]);
+    return hsum * 1000003 + hcnt * 31 + lo * 7 + hi;
+}`, n, n, n, n)
+}
+
+func quickhullGen(n int, seed uint64) Inputs {
+	r := newRNG(seed + 3*0x9e3779b9)
+	px := make([]uint64, n)
+	py := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		px[i] = r.uintn(1 << 16)
+		py[i] = r.uintn(1 << 16)
+	}
+	return Inputs{"px": px, "py": py}
+}
+
+func quickhullRef(n int, in Inputs) uint64 {
+	px, py := in["px"], in["py"]
+	x := func(i int) int64 { return int64(px[i]) }
+	y := func(i int) int64 { return int64(py[i]) }
+	var hsum, hcnt uint64
+	var findhull func(ax, ay, bx, by int64)
+	findhull = func(ax, ay, bx, by int64) {
+		best := -1
+		var bestd int64
+		for i := 0; i < n; i++ {
+			d := (bx-ax)*(y(i)-ay) - (by-ay)*(x(i)-ax)
+			if d > bestd {
+				bestd = d
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		hsum = hsum*31 + uint64(x(best)*7+y(best))
+		hcnt++
+		findhull(ax, ay, x(best), y(best))
+		findhull(x(best), y(best), bx, by)
+	}
+	lo, hi := 0, 0
+	for i := 1; i < n; i++ {
+		if x(i) < x(lo) || (x(i) == x(lo) && y(i) < y(lo)) {
+			lo = i
+		}
+		if x(i) > x(hi) || (x(i) == x(hi) && y(i) > y(hi)) {
+			hi = i
+		}
+	}
+	findhull(x(lo), y(lo), x(hi), y(hi))
+	findhull(x(hi), y(hi), x(lo), y(lo))
+	return hsum*1000003 + hcnt*31 + uint64(lo)*7 + uint64(hi)
+}
+
+func init() {
+	Register(&Kernel{
+		ID:     3,
+		Name:   "convexHull/quickHull",
+		MinN:   2,
+		Source: quickhullSource,
+		Gen:    quickhullGen,
+		Ref:    quickhullRef,
+	})
+}

@@ -1,0 +1,66 @@
+package pbbs
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Benchmark 2 — comparisonSort/quickSort.
+//
+// Recursive quicksort with Lomuto last-element partitioning over random
+// 32-bit keys. The sorted array is unique, so the Go reference just sorts.
+
+func quicksortSource(n int) string {
+	return fmt.Sprintf(`
+unsigned long a[%d];
+void qs(long lo, long hi) {
+    if (lo >= hi) return;
+    unsigned long p = a[hi];
+    long i = lo;
+    for (long j = lo; j < hi; j = j + 1) {
+        if (a[j] < p) {
+            unsigned long t = a[i]; a[i] = a[j]; a[j] = t;
+            i = i + 1;
+        }
+    }
+    unsigned long t = a[i]; a[i] = a[hi]; a[hi] = t;
+    qs(lo, i - 1);
+    qs(i + 1, hi);
+}
+unsigned long main(void) {
+    qs(0, %d);
+    unsigned long s = 0;
+    for (long i = 0; i < %d; i = i + 1) s = s * 31 + a[i];
+    return s;
+}`, n, n-1, n)
+}
+
+func quicksortGen(n int, seed uint64) Inputs {
+	r := newRNG(seed + 2*0x9e3779b9)
+	a := make([]uint64, n)
+	for i := range a {
+		a[i] = r.uintn(1 << 32)
+	}
+	return Inputs{"a": a}
+}
+
+func quicksortRef(n int, in Inputs) uint64 {
+	a := slices.Clone(in["a"])
+	slices.Sort(a)
+	var s uint64
+	for _, v := range a {
+		s = mix(s, v)
+	}
+	return s
+}
+
+func init() {
+	Register(&Kernel{
+		ID:     2,
+		Name:   "comparisonSort/quickSort",
+		MinN:   2,
+		Source: quicksortSource,
+		Gen:    quicksortGen,
+		Ref:    quicksortRef,
+	})
+}

@@ -1,0 +1,74 @@
+package pbbs
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Benchmark 5 — integerSort/blockRadixSort.
+//
+// LSD radix sort of 32-bit keys in four 8-bit-digit passes: histogram,
+// exclusive prefix sum, stable scatter, copy back.
+
+func radixsortSource(n int) string {
+	return fmt.Sprintf(`
+unsigned long a[%d];
+unsigned long b[%d];
+unsigned long cnt[256];
+unsigned long main(void) {
+    unsigned long n = %d;
+    for (long pass = 0; pass < 4; pass = pass + 1) {
+        unsigned long sh = pass * 8;
+        for (long d = 0; d < 256; d = d + 1) cnt[d] = 0;
+        for (unsigned long i = 0; i < n; i = i + 1) {
+            unsigned long d = a[i] >> sh & 255;
+            cnt[d] = cnt[d] + 1;
+        }
+        unsigned long run = 0;
+        for (long d = 0; d < 256; d = d + 1) {
+            unsigned long c = cnt[d];
+            cnt[d] = run;
+            run = run + c;
+        }
+        for (unsigned long i = 0; i < n; i = i + 1) {
+            unsigned long d = a[i] >> sh & 255;
+            b[cnt[d]] = a[i];
+            cnt[d] = cnt[d] + 1;
+        }
+        for (unsigned long i = 0; i < n; i = i + 1) a[i] = b[i];
+    }
+    unsigned long s = 0;
+    for (unsigned long i = 0; i < n; i = i + 1) s = s * 31 + a[i];
+    return s;
+}`, n, n, n)
+}
+
+func radixsortGen(n int, seed uint64) Inputs {
+	r := newRNG(seed + 5*0x9e3779b9)
+	a := make([]uint64, n)
+	for i := range a {
+		a[i] = r.uintn(1 << 32)
+	}
+	return Inputs{"a": a}
+}
+
+func radixsortRef(n int, in Inputs) uint64 {
+	a := slices.Clone(in["a"])
+	slices.Sort(a)
+	var s uint64
+	for _, v := range a {
+		s = mix(s, v)
+	}
+	return s
+}
+
+func init() {
+	Register(&Kernel{
+		ID:     5,
+		Name:   "integerSort/blockRadixSort",
+		MinN:   2,
+		Source: radixsortSource,
+		Gen:    radixsortGen,
+		Ref:    radixsortRef,
+	})
+}

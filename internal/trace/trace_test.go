@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// synthetic returns a small hand-built trace exercising every record field.
+func synthetic() *Trace {
+	t := &Trace{}
+	t.Append(Record{IP: 0, Op: isa.MOV, RegWrites: []isa.Reg{isa.RAX}})
+	t.Append(Record{IP: 1, Op: isa.MOV, RegReads: []isa.Reg{isa.RAX},
+		MemWrites: []MemRef{{Addr: 0x10000}}})
+	t.Append(Record{IP: 2, Op: isa.ADD,
+		RegReads:  []isa.Reg{isa.RAX, isa.RBX},
+		RegWrites: []isa.Reg{isa.RAX, isa.Flags},
+		MemReads:  []MemRef{{Addr: 0x10008}}})
+	t.Append(Record{IP: 3, Op: isa.Jcc, RegReads: []isa.Reg{isa.Flags}, Taken: true})
+	t.Append(Record{IP: 4, Op: isa.Jcc, RegReads: []isa.Reg{isa.Flags}})
+	t.Append(Record{IP: 5, Op: isa.CALL, CallLevel: 0,
+		MemWrites: []MemRef{{Addr: 0x7ffeff00}}})
+	t.Append(Record{IP: 9, Op: isa.RET, CallLevel: 1,
+		MemReads: []MemRef{{Addr: 0x7ffeff00}}})
+	t.Append(Record{IP: 6, Op: isa.FORK, CallLevel: 0})
+	t.Append(Record{IP: 7, Op: isa.ENDFORK, CallLevel: 1})
+	t.Append(Record{IP: 8, Op: isa.HLT})
+	return t
+}
+
+func TestAppendAssignsSeq(t *testing.T) {
+	tr := synthetic()
+	for i, r := range tr.Records {
+		if r.Seq != int64(i) {
+			t.Errorf("record %d has Seq %d", i, r.Seq)
+		}
+	}
+	if tr.Len() != 10 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr := synthetic()
+	buf := tr.Encode()
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("decoded %d records, want %d", got.Len(), tr.Len())
+	}
+	for i := range tr.Records {
+		a, b := &tr.Records[i], &got.Records[i]
+		if a.Seq != b.Seq || a.IP != b.IP || a.Op != b.Op || a.Taken != b.Taken || a.CallLevel != b.CallLevel {
+			t.Errorf("record %d header differs: %+v vs %+v", i, a, b)
+		}
+		if len(a.RegReads) != len(b.RegReads) || len(a.RegWrites) != len(b.RegWrites) ||
+			len(a.MemReads) != len(b.MemReads) || len(a.MemWrites) != len(b.MemWrites) {
+			t.Fatalf("record %d set sizes differ: %+v vs %+v", i, a, b)
+		}
+		for j := range a.RegReads {
+			if a.RegReads[j] != b.RegReads[j] {
+				t.Errorf("record %d RegReads[%d] differs", i, j)
+			}
+		}
+		for j := range a.RegWrites {
+			if a.RegWrites[j] != b.RegWrites[j] {
+				t.Errorf("record %d RegWrites[%d] differs", i, j)
+			}
+		}
+		for j := range a.MemReads {
+			if a.MemReads[j] != b.MemReads[j] {
+				t.Errorf("record %d MemReads[%d] differs", i, j)
+			}
+		}
+		for j := range a.MemWrites {
+			if a.MemWrites[j] != b.MemWrites[j] {
+				t.Errorf("record %d MemWrites[%d] differs", i, j)
+			}
+		}
+	}
+	// Re-encoding the decoded trace is byte-identical.
+	buf2 := got.Encode()
+	if string(buf) != string(buf2) {
+		t.Error("re-encoded trace differs from original encoding")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte("XXXX")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Error("empty buffer accepted")
+	}
+	buf := synthetic().Encode()
+	for _, cut := range []int{5, 12, 20, len(buf) - 1} {
+		if _, err := Decode(buf[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	s := synthetic().ComputeStats()
+	if s.Instructions != 10 {
+		t.Errorf("Instructions = %d", s.Instructions)
+	}
+	if s.Loads != 2 {
+		t.Errorf("Loads = %d", s.Loads)
+	}
+	if s.Stores != 2 {
+		t.Errorf("Stores = %d", s.Stores)
+	}
+	if s.Branches != 2 {
+		t.Errorf("Branches = %d", s.Branches)
+	}
+	if s.Taken != 1 {
+		t.Errorf("Taken = %d", s.Taken)
+	}
+	if s.Calls != 1 || s.Returns != 1 || s.Forks != 1 {
+		t.Errorf("Calls/Returns/Forks = %d/%d/%d", s.Calls, s.Returns, s.Forks)
+	}
+	if s.MaxCallLevel != 1 {
+		t.Errorf("MaxCallLevel = %d", s.MaxCallLevel)
+	}
+	if s.String() == "" {
+		t.Error("empty stats string")
+	}
+}
+
+func TestIsControl(t *testing.T) {
+	control := []isa.Op{isa.JMP, isa.Jcc, isa.CALL, isa.RET, isa.FORK, isa.ENDFORK, isa.HLT}
+	for _, op := range control {
+		r := Record{Op: op}
+		if !r.IsControl() {
+			t.Errorf("%v not classified as control", op)
+		}
+	}
+	for _, op := range []isa.Op{isa.MOV, isa.ADD, isa.PUSH, isa.NOP} {
+		r := Record{Op: op}
+		if r.IsControl() {
+			t.Errorf("%v classified as control", op)
+		}
+	}
+}
