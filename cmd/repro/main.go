@@ -10,6 +10,10 @@
 //	                 simulator against the emulator and report cycles/IPC
 //	repro analytic — print the Section 5 closed-form scaling table for the
 //	                 sum reduction
+//	repro sweep    — the scaling laboratory: run the machine across the
+//	                 cross-product of kernel × size × cores × NoC topology ×
+//	                 shortcut × placement cap, with a content-keyed result
+//	                 cache, streaming JSONL output and baseline diffing
 package main
 
 import (
@@ -31,6 +35,7 @@ commands:
   ilp       print the Fig. 7 table (sequential vs parallel trace ILP)
   machine   cross-validate kernels on the many-core simulator
   analytic  print the Section 5 scaling table
+  sweep     scaling laboratory: sweep cores × topology × shortcut × cap
 
 run "repro <command> -h" for the flags of each command.
 `)
@@ -51,6 +56,8 @@ func main() {
 		err = cmdMachine(os.Args[2:])
 	case "analytic":
 		err = cmdAnalytic(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:

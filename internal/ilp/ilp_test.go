@@ -356,3 +356,122 @@ main:   pushq %rax
 		t.Fatal("trace does not reference rsp")
 	}
 }
+
+// TestWindowOneSerializes: a 1-instruction window forces a fully serial
+// schedule regardless of dependences.
+func TestWindowOneSerializes(t *testing.T) {
+	var src string
+	src = "main:\n"
+	for i := 0; i < 12; i++ {
+		src += "        movq $1, %rax\n" // independent under renaming
+	}
+	src += "        hlt\n"
+	tr := traceOf(t, src)
+	m := Model{Name: "w1", RenameRegisters: true, RenameMemory: true, PerfectBranchPrediction: true, WindowSize: 1}
+	r := Analyze(tr, m)
+	if r.Cycles != int64(tr.Len()) {
+		t.Errorf("cycles = %d, want %d (one per instruction)", r.Cycles, tr.Len())
+	}
+	if r.MaxParallelism != 1 {
+		t.Errorf("max parallelism = %d, want 1", r.MaxParallelism)
+	}
+}
+
+// TestWindowAndIssueCombine: with both limits configured the schedule obeys
+// the tighter of the two each cycle.
+func TestWindowAndIssueCombine(t *testing.T) {
+	var src string
+	src = "main:\n"
+	for i := 0; i < 24; i++ {
+		src += "        movq $1, %rax\n"
+	}
+	src += "        hlt\n"
+	tr := traceOf(t, src) // 25 instructions, all independent
+	m := Model{Name: "w8iw2", RenameRegisters: true, RenameMemory: true, PerfectBranchPrediction: true, WindowSize: 8, IssueWidth: 2}
+	r := Analyze(tr, m)
+	// Issue width 2 dominates the 8-wide window: ceil(25/2) = 13 cycles.
+	if r.Cycles != 13 {
+		t.Errorf("cycles = %d, want 13", r.Cycles)
+	}
+	if r.MaxParallelism > 2 {
+		t.Errorf("max parallelism = %d, exceeds the issue width", r.MaxParallelism)
+	}
+}
+
+// TestWindowStallsOnChainHead: an in-order window cannot slide past an
+// incomplete head, so a dependence chain at the front gates independent work
+// behind it.
+func TestWindowStallsOnChainHead(t *testing.T) {
+	src := `
+main:   movq $0, %rax
+        addq $1, %rax
+        addq $1, %rax
+        addq $1, %rax
+        movq $1, %rbx
+        movq $2, %rcx
+        movq $3, %rdx
+        hlt
+`
+	tr := traceOf(t, src)
+	narrow := Model{Name: "w2", RenameRegisters: true, RenameMemory: true, PerfectBranchPrediction: true, WindowSize: 2}
+	wide := Model{Name: "w64", RenameRegisters: true, RenameMemory: true, PerfectBranchPrediction: true, WindowSize: 64}
+	rn, rw := Analyze(tr, narrow), Analyze(tr, wide)
+	if rn.Cycles <= rw.Cycles {
+		t.Errorf("2-wide window (%d cycles) not slower than 64-wide (%d cycles)", rn.Cycles, rw.Cycles)
+	}
+	// The chain is 4 long; the wide window hides everything else behind it.
+	if rw.Cycles != 4 {
+		t.Errorf("wide-window cycles = %d, want 4 (the chain length)", rw.Cycles)
+	}
+}
+
+// TestTjadenFlynnBelowWall: the related-work model hierarchy on a real
+// workload: the 10-instruction Tjaden–Flynn window cannot beat Wall's good
+// machine, which cannot beat Wall's perfect machine.
+func TestTjadenFlynnBelowWall(t *testing.T) {
+	p, err := progs.BuildSumCall(progs.Vector(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _, err := emu.RunTraced(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf := Analyze(tr, TjadenFlynn())
+	good := Analyze(tr, WallGood())
+	perfect := Analyze(tr, WallPerfect())
+	if tf.ILP > good.ILP {
+		t.Errorf("Tjaden–Flynn ILP %.2f exceeds Wall-good %.2f", tf.ILP, good.ILP)
+	}
+	if good.ILP > perfect.ILP {
+		t.Errorf("Wall-good ILP %.2f exceeds Wall-perfect %.2f", good.ILP, perfect.ILP)
+	}
+	if good.MaxParallelism > 64 {
+		t.Errorf("Wall-good issued %d in one cycle, exceeds its 64-wide issue", good.MaxParallelism)
+	}
+}
+
+// TestIssueWidthMonotone: widening issue never slows the schedule down.
+func TestIssueWidthMonotone(t *testing.T) {
+	p, err := progs.BuildSumCall(progs.Vector(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _, err := emu.RunTraced(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := int64(1 << 62)
+	for _, iw := range []int{1, 2, 4, 8, 16} {
+		m := Parallel()
+		m.IssueWidth = iw
+		r := Analyze(tr, m)
+		if r.Cycles > prev {
+			t.Errorf("issue width %d: %d cycles, slower than narrower issue (%d)", iw, r.Cycles, prev)
+		}
+		if int64(r.MaxParallelism) > int64(iw) {
+			t.Errorf("issue width %d: max parallelism %d exceeds it", iw, r.MaxParallelism)
+		}
+		prev = r.Cycles
+	}
+}

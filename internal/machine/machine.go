@@ -44,9 +44,12 @@ type Config struct {
 	// address is rsp-based with a non-negative offset (§4.2). Default on
 	// via DefaultConfig; disable for the ablation bench.
 	Shortcut bool
-	// MaxSectionsPerCore caps how many live sections a core hosts before
-	// the host chooser avoids it; 0 means no preference cap. The cap is
-	// soft: if every core is at the cap the least loaded is used anyway.
+	// MaxSectionsPerCore switches the host chooser from spreading to
+	// packing: when > 0, a new section goes to the most loaded core that
+	// still hosts fewer than this many live sections, filling cores up to
+	// the cap before touching idle ones (locality over fetch spread). The
+	// cap is soft: if every core is at the cap the least loaded core is
+	// used anyway. 0 keeps the default least-loaded spreading.
 	MaxSectionsPerCore int
 	// StallLimit aborts the run when no architectural progress happens for
 	// this many cycles (deadlock detector). Defaults to 10000.
@@ -263,6 +266,11 @@ type Machine struct {
 
 	pendingCreates   int
 	regReqs, memReqs int64
+
+	// NoC message accounting: section-creation messages sent by forks,
+	// request-forwarding messages between cores, value responses travelling
+	// back, and requests answered by the committed state (DMH/loader).
+	createMsgs, reqHops, respMsgs, dmhAnswers int64
 }
 
 // DMH returns the data memory hierarchy (the committed memory), for
@@ -357,17 +365,30 @@ func (m *Machine) nextOf(s *Section) *Section {
 	return m.order[s.Pos+1]
 }
 
-// chooseHost picks the hosting core for a new section: the least loaded
-// core, round-robin on ties (the paper leaves load balancing out of scope).
+// chooseHost picks the hosting core for a new section (the paper leaves
+// load balancing out of scope). The default policy spreads: the least
+// loaded core wins, round-robin on ties. With Config.MaxSectionsPerCore > 0
+// the policy packs instead: the most loaded core still under the cap wins,
+// so sections fill one core after another; when every core is at the cap
+// the least loaded core is used (the cap is soft).
 func (m *Machine) chooseHost() int {
 	best, bestLoad := -1, int(^uint(0)>>1)
+	packed, packedLoad := -1, -1
 	n := len(m.cores)
 	for i := 0; i < n; i++ {
 		c := m.cores[(m.rrHost+i)%n]
-		load := c.live + len(c.pending)
+		// live already counts sections whose creation message is still in
+		// flight (assignHost increments it at assignment time).
+		load := c.live
 		if load < bestLoad {
 			best, bestLoad = c.id, load
 		}
+		if m.cfg.MaxSectionsPerCore > 0 && load < m.cfg.MaxSectionsPerCore && load > packedLoad {
+			packed, packedLoad = c.id, load
+		}
+	}
+	if packed >= 0 {
+		best = packed
 	}
 	m.rrHost = (best + 1) % n
 	return best

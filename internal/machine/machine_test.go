@@ -487,3 +487,98 @@ func TestBadConfig(t *testing.T) {
 		t.Error("accepted 0 cores")
 	}
 }
+
+// TestMessageAccounting: every fork sends exactly one creation message, every
+// issued request is eventually answered by exactly one response, and the DMH
+// answers are a subset of the responses.
+func TestMessageAccounting(t *testing.T) {
+	p, err := progs.BuildSumFork(progs.Vector(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RunProgram(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(len(r.Sections) - 1); r.CreateMessages != want {
+		t.Errorf("CreateMessages = %d, want %d (sections minus the initial one)", r.CreateMessages, want)
+	}
+	if want := r.RegRequests + r.MemRequests; r.ResponseMessages != want {
+		t.Errorf("ResponseMessages = %d, want %d (one per request)", r.ResponseMessages, want)
+	}
+	if r.DMHAnswers > r.ResponseMessages {
+		t.Errorf("DMHAnswers = %d exceeds ResponseMessages = %d", r.DMHAnswers, r.ResponseMessages)
+	}
+	if got := r.NocMessages(); got != r.CreateMessages+r.RequestHops+r.ResponseMessages {
+		t.Errorf("NocMessages() = %d, want the sum of its parts", got)
+	}
+	if r.NocMessages() == 0 {
+		t.Error("NocMessages() = 0 for a forking program")
+	}
+}
+
+// TestShortcutReducesHops: disabling the call-level shortcut makes memory
+// requests search through deeper-level sections, so the no-shortcut run needs
+// at least as many request hops.
+func TestShortcutReducesHops(t *testing.T) {
+	p, err := progs.BuildSumFork(progs.Vector(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(shortcut bool) *Result {
+		cfg := DefaultConfig(12)
+		cfg.Shortcut = shortcut
+		m, err := New(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	on, off := run(true), run(false)
+	if on.RequestHops > off.RequestHops {
+		t.Errorf("shortcut run made %d hops, no-shortcut made %d", on.RequestHops, off.RequestHops)
+	}
+}
+
+// TestMaxSectionsPerCorePacks: with a packing cap, sections fill one core
+// after another instead of spreading, and the result stays correct.
+func TestMaxSectionsPerCorePacks(t *testing.T) {
+	p, err := progs.BuildSumFork(progs.Vector(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(secCap int) *Result {
+		cfg := DefaultConfig(8)
+		cfg.MaxSectionsPerCore = secCap
+		m, err := New(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.RAX != progs.VectorSum(40) {
+			t.Fatalf("cap=%d: rax = %d, want %d", secCap, r.RAX, progs.VectorSum(40))
+		}
+		return r
+	}
+	usedCores := func(r *Result) int {
+		used := make(map[int]bool)
+		for _, s := range r.Sections {
+			used[s.Core] = true
+		}
+		return len(used)
+	}
+	spread, packed := run(0), run(100)
+	if got, limit := usedCores(spread), usedCores(packed); got < limit {
+		t.Errorf("spread run used %d cores, packed run used %d (packing should not use more)", got, limit)
+	}
+	if got := usedCores(packed); got != 1 {
+		t.Errorf("cap=100 run used %d cores, want 1 (every section fits the first core)", got)
+	}
+}

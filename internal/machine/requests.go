@@ -135,6 +135,7 @@ func (m *Machine) stepRequest(r *request) {
 		}
 		r.availableAt = m.cycle + m.cfg.Net.Latency(from, to)
 		r.hops++
+		m.reqHops++
 		return
 	}
 	// At the target: it must be completely renamed before it can answer,
@@ -178,6 +179,7 @@ func (m *Machine) deliver(r *request, p producer) {
 	back := m.cfg.Net.Latency(r.target.Core, r.reqSec.Core)
 	r.sl.fill(p.value(), m.cycle+back)
 	r.done = true
+	m.respMsgs++
 	m.progress++
 }
 
@@ -198,5 +200,7 @@ func (m *Machine) answerFromCommitted(r *request) {
 	// (Fig. 10's "counting 3 cycles to reach the producer and return").
 	r.sl.fill(v, m.cycle+2)
 	r.done = true
+	m.respMsgs++
+	m.dmhAnswers++
 	m.progress++
 }

@@ -58,8 +58,27 @@ type Result struct {
 	FetchedPerCore []int64
 	// Requests counts renaming requests issued (register, memory).
 	RegRequests, MemRequests int64
+	// CreateMessages counts section-creation messages sent by forks.
+	CreateMessages int64
+	// RequestHops counts request-forwarding messages: every NoC traversal a
+	// renaming request makes while searching backwards along the section
+	// order.
+	RequestHops int64
+	// ResponseMessages counts value responses sent back to requesters,
+	// including answers from the committed state.
+	ResponseMessages int64
+	// DMHAnswers counts the requests answered by the committed state (the
+	// paper's "the request travels back to the loader") rather than by a
+	// live section.
+	DMHAnswers int64
 	// NetName identifies the topology used.
 	NetName string
+}
+
+// NocMessages returns the total messages charged to the on-chip network:
+// section creations, request hops and value responses.
+func (r *Result) NocMessages() int64 {
+	return r.CreateMessages + r.RequestHops + r.ResponseMessages
 }
 
 // FetchIPC returns instructions fetched per cycle until fetch completion.
@@ -80,13 +99,17 @@ func (r *Result) RetireIPC() float64 {
 
 func (m *Machine) result() *Result {
 	r := &Result{
-		Cycles:      m.cycle,
-		Cores:       len(m.cores),
-		RAX:         m.arch[isa.RAX],
-		Regs:        m.arch,
-		NetName:     m.cfg.Net.Name(),
-		RegRequests: m.regReqs,
-		MemRequests: m.memReqs,
+		Cycles:           m.cycle,
+		Cores:            len(m.cores),
+		RAX:              m.arch[isa.RAX],
+		Regs:             m.arch,
+		NetName:          m.cfg.Net.Name(),
+		RegRequests:      m.regReqs,
+		MemRequests:      m.memReqs,
+		CreateMessages:   m.createMsgs,
+		RequestHops:      m.reqHops,
+		ResponseMessages: m.respMsgs,
+		DMHAnswers:       m.dmhAnswers,
 	}
 	for _, c := range m.cores {
 		r.FetchedPerCore = append(r.FetchedPerCore, c.fetched)

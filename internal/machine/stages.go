@@ -229,6 +229,7 @@ func (m *Machine) doFork(c *Core, sec *Section, d *DynInst) {
 	}
 	d.createdSec = created
 	m.insertAfter(sec, created)
+	m.createMsgs++
 	m.assignHost(created, m.cycle+m.cfg.CreateLatency)
 }
 

@@ -23,6 +23,8 @@ package pbbs
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/backend"
 	"repro/internal/ilp"
@@ -121,6 +123,57 @@ func ByID(id int) (*Kernel, error) {
 	return nil, fmt.Errorf("pbbs: no benchmark %d", id)
 }
 
+// Find resolves a kernel selector: a benchmark number ("2") or a
+// case-insensitive substring of the kernel name ("quicksort"). A selector
+// matching several kernels is an error listing the candidates.
+func Find(sel string) (*Kernel, error) {
+	sel = strings.TrimSpace(sel)
+	if id, err := strconv.Atoi(sel); err == nil {
+		return ByID(id)
+	}
+	var hits []*Kernel
+	low := strings.ToLower(sel)
+	for _, k := range Kernels() {
+		if strings.Contains(strings.ToLower(k.Name), low) {
+			hits = append(hits, k)
+		}
+	}
+	switch len(hits) {
+	case 1:
+		return hits[0], nil
+	case 0:
+		return nil, fmt.Errorf("pbbs: no benchmark matches %q", sel)
+	}
+	names := make([]string, len(hits))
+	for i, k := range hits {
+		names[i] = k.Name
+	}
+	return nil, fmt.Errorf("pbbs: %q is ambiguous: %s", sel, strings.Join(names, ", "))
+}
+
+// FindAll resolves a comma-separated kernel selector list ("quicksort,bfs",
+// "1,2,5"). The empty string and "all" select every registered kernel.
+func FindAll(sels string) ([]*Kernel, error) {
+	sels = strings.TrimSpace(sels)
+	if sels == "" || sels == "all" {
+		return Kernels(), nil
+	}
+	var ks []*Kernel
+	seen := make(map[int]bool)
+	for _, sel := range strings.Split(sels, ",") {
+		k, err := Find(sel)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[k.ID] {
+			seen[k.ID] = true
+			ks = append(ks, k)
+		}
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].ID < ks[j].ID })
+	return ks, nil
+}
+
 // ClampN returns the dataset size the kernel actually runs at for a
 // requested n: n itself, or MinN when n is below the kernel's minimum.
 func (k *Kernel) ClampN(n int) int {
@@ -130,21 +183,19 @@ func (k *Kernel) ClampN(n int) int {
 	return n
 }
 
-func (k *Kernel) clampN(n int) int { return k.ClampN(n) }
-
 // Build compiles the kernel for a dataset size in the given calling
 // convention (ModeCall for the emulator, ModeFork for the machine).
 func (k *Kernel) Build(n int, mode minic.Mode) (*isa.Program, error) {
-	return minic.Compile(k.Source(k.clampN(n)), mode)
+	return minic.Compile(k.Source(k.ClampN(n)), mode)
 }
 
 // RunResult is the outcome of one kernel execution.
 type RunResult struct {
-	Kernel   *Kernel
-	N        int
-	Backend  string
-	Checksum uint64
-	Expected uint64
+	Kernel   *Kernel      // the benchmark that ran
+	N        int          // effective (clamped) dataset size
+	Backend  string       // substrate that produced the result
+	Checksum uint64       // the mini-C program's result (rax)
+	Expected uint64       // the pure-Go reference checksum
 	Steps    int64        // dynamic instructions
 	Cycles   int64        // simulated cycles (== Steps on the emulator)
 	Trace    *trace.Trace // nil unless traced
@@ -156,7 +207,7 @@ func (k *Kernel) RunOn(b backend.Backend, n int, seed uint64, traced bool) (*Run
 	if traced && !b.SupportsTrace() {
 		return nil, fmt.Errorf("pbbs: %s: backend %s cannot capture traces", k.Name, b.Name())
 	}
-	n = k.clampN(n)
+	n = k.ClampN(n)
 	prog, err := k.Build(n, b.Mode())
 	if err != nil {
 		return nil, fmt.Errorf("pbbs: %s (n=%d): %w", k.Name, n, err)
@@ -194,7 +245,7 @@ func (k *Kernel) Run(n int, seed uint64, traced bool) (*RunResult, error) {
 // that both agree on the final rax and the full data segment, and that the
 // result matches the Go reference checksum. It returns the machine result.
 func (k *Kernel) CrossValidate(n int, seed uint64, cores int) (*backend.Result, error) {
-	n = k.clampN(n)
+	n = k.ClampN(n)
 	mb := backend.NewMachine(cores)
 	prog, err := k.Build(n, mb.Mode())
 	if err != nil {

@@ -203,3 +203,29 @@ func TestRunOnReportsBackend(t *testing.T) {
 		t.Errorf("backend = %q", res.Backend)
 	}
 }
+
+func TestFindSelectors(t *testing.T) {
+	if k, err := Find("2"); err != nil || k.ID != 2 {
+		t.Errorf("Find(\"2\") = %v, %v", k, err)
+	}
+	if k, err := Find("quicksort"); err != nil || k.ID != 2 {
+		t.Errorf("Find(\"quicksort\") = %v, %v", k, err)
+	}
+	if _, err := Find("deterministicHash"); err == nil {
+		t.Error("Find did not flag an ambiguous selector")
+	}
+	if _, err := Find("nosuchkernel"); err == nil {
+		t.Error("Find accepted an unknown selector")
+	}
+	all, err := FindAll("all")
+	if err != nil || len(all) != len(Kernels()) {
+		t.Errorf("FindAll(\"all\") = %d kernels, %v", len(all), err)
+	}
+	two, err := FindAll("quicksort,bfs")
+	if err != nil || len(two) != 2 || two[0].ID != 1 || two[1].ID != 2 {
+		t.Errorf("FindAll(\"quicksort,bfs\") = %v, %v", two, err)
+	}
+	if dup, err := FindAll("2,quicksort"); err != nil || len(dup) != 1 {
+		t.Errorf("FindAll did not dedup: %v, %v", dup, err)
+	}
+}

@@ -1,0 +1,85 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DiffRow compares one grid point across two sweep files.
+type DiffRow struct {
+	Point
+	Base, New Metrics
+}
+
+// Speedup returns base-cycles over new-cycles: > 1 means the new sweep is
+// faster at this point.
+func (d DiffRow) Speedup() float64 {
+	if d.New.Cycles == 0 {
+		return 0
+	}
+	return float64(d.Base.Cycles) / float64(d.New.Cycles)
+}
+
+// MsgDelta returns the NoC message-count change (new minus base).
+func (d DiffRow) MsgDelta() int64 { return d.New.NocMessages - d.Base.NocMessages }
+
+// DiffResult is the outcome of matching two sweep files.
+type DiffResult struct {
+	// Rows holds the matched points, in the base file's order.
+	Rows []DiffRow
+	// BaseOnly and NewOnly count points present in only one file.
+	BaseOnly, NewOnly int
+}
+
+// Diff matches records of two sweep files by grid point (every coordinate
+// except the display name) and pairs their metrics. Failed records (Err set)
+// are skipped on either side.
+func Diff(base, cur []Record) DiffResult {
+	byPoint := make(map[Point]Metrics, len(cur))
+	for _, r := range cur {
+		if r.Err == "" {
+			byPoint[r.Point.key()] = r.Metrics
+		}
+	}
+	var res DiffResult
+	matched := make(map[Point]bool)
+	for _, r := range base {
+		if r.Err != "" {
+			continue
+		}
+		m, ok := byPoint[r.Point.key()]
+		if !ok {
+			res.BaseOnly++
+			continue
+		}
+		matched[r.Point.key()] = true
+		res.Rows = append(res.Rows, DiffRow{Point: r.Point, Base: r.Metrics, New: m})
+	}
+	res.NewOnly = len(byPoint) - len(matched)
+	return res
+}
+
+// DiffTable renders a diff as an aligned report: cycles, IPC and NoC traffic
+// on both sides, with speedup and message delta per point.
+func DiffTable(d DiffResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-3s %-28s %6s %-22s %10s %10s %8s %7s %7s %9s %9s %8s\n",
+		"#", "benchmark", "n", "config",
+		"cycles0", "cycles1", "speedup", "IPC0", "IPC1", "noc0", "noc1", "Δmsgs")
+	for _, row := range d.Rows {
+		name := row.Name
+		if i := strings.IndexByte(name, '/'); i >= 0 {
+			name = name[i+1:]
+		}
+		fmt.Fprintf(&b, "%-3d %-28s %6d %-22s %10d %10d %8.2f %7.2f %7.2f %9d %9d %+8d\n",
+			row.Kernel, name, row.N, row.Config(),
+			row.Base.Cycles, row.New.Cycles, row.Speedup(),
+			row.Base.IPC, row.New.IPC,
+			row.Base.NocMessages, row.New.NocMessages, row.MsgDelta())
+	}
+	if d.BaseOnly > 0 || d.NewOnly > 0 {
+		fmt.Fprintf(&b, "unmatched points: %d only in baseline, %d only in new\n",
+			d.BaseOnly, d.NewOnly)
+	}
+	return b.String()
+}

@@ -1,0 +1,185 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/backend"
+	"repro/internal/machine"
+	"repro/internal/minic"
+	"repro/internal/pbbs"
+)
+
+// Stats counts what a sweep run did.
+type Stats struct {
+	// Points is the grid size after normalisation and dedup.
+	Points int
+	// Hits is how many points were served from the cache.
+	Hits int
+	// Simulated is how many points ran the machine simulator.
+	Simulated int
+	// Failures is how many points errored (build, divergence, timeout).
+	Failures int
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%d points: %d cached, %d simulated, %d failed",
+		s.Points, s.Hits, s.Simulated, s.Failures)
+}
+
+// Engine measures sweep grids with a worker pool and an optional persistent
+// cache.
+type Engine struct {
+	// Cache, when non-nil, serves repeated points without re-simulation.
+	Cache *Cache
+	// Workers bounds concurrent measurements; <= 0 uses GOMAXPROCS.
+	Workers int
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Stats returns the counters accumulated over every Run of this engine.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Run measures every point of the grid. Workers measure concurrently, but
+// emit (when non-nil) is called from a single goroutine in deterministic
+// grid order, as soon as each prefix of the grid is complete — the streaming
+// hook for incremental JSONL output. The returned records are in the same
+// order. Per-point failures are reported inside the records (Record.Err) and
+// joined into the returned error.
+func (e *Engine) Run(spec *Spec, emit func(Record)) ([]Record, error) {
+	pts, err := spec.Points()
+	if err != nil {
+		return nil, err
+	}
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pts) && len(pts) > 0 {
+		workers = len(pts)
+	}
+
+	recs := make([]Record, len(pts))
+	ready := make([]chan struct{}, len(pts))
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				recs[i] = e.measure(pts[i])
+				close(ready[i])
+			}
+		}()
+	}
+	go func() {
+		for i := range pts {
+			jobs <- i
+		}
+		close(jobs)
+	}()
+
+	var errs []error
+	for i := range pts {
+		<-ready[i]
+		if emit != nil {
+			emit(recs[i])
+		}
+		if recs[i].Err != "" {
+			errs = append(errs, fmt.Errorf("%s n=%d %s: %s",
+				recs[i].Name, recs[i].N, recs[i].Config(), recs[i].Err))
+		}
+	}
+	wg.Wait()
+	return recs, errors.Join(errs...)
+}
+
+// measure runs one point: resolve the kernel, derive the content key, serve
+// from the cache or compile + simulate + validate, and store the outcome.
+func (e *Engine) measure(p Point) Record {
+	rec := Record{Point: p}
+	e.count(func(s *Stats) { s.Points++ })
+
+	fail := func(err error) Record {
+		rec.Err = err.Error()
+		e.count(func(s *Stats) { s.Failures++ })
+		return rec
+	}
+
+	k, err := pbbs.ByID(p.Kernel)
+	if err != nil {
+		return fail(err)
+	}
+	prog, err := k.Build(p.N, minic.ModeFork)
+	if err != nil {
+		return fail(err)
+	}
+	in := k.Gen(p.N, p.Seed)
+	rec.Key = cacheKey(prog, in, p)
+
+	if m, ok := e.Cache.Get(rec.Key); ok {
+		rec.Metrics = *m
+		e.count(func(s *Stats) { s.Hits++ })
+		return rec
+	}
+
+	net, err := MakeNet(p.Topology, p.Cores)
+	if err != nil {
+		return fail(err)
+	}
+	mb := &backend.Machine{Cfg: machine.Config{
+		Cores:              p.Cores,
+		Net:                net,
+		CreateLatency:      2,
+		Shortcut:           p.Shortcut,
+		MaxSectionsPerCore: p.MaxSections,
+	}}
+	res, err := mb.Run(prog, in, false)
+	if err != nil {
+		return fail(err)
+	}
+	e.count(func(s *Stats) { s.Simulated++ })
+	if want := k.Ref(p.N, in); res.RAX != want {
+		return fail(fmt.Errorf("checksum %d, reference %d", res.RAX, want))
+	}
+
+	mr := res.Machine
+	rec.Metrics = Metrics{
+		Instructions:     mr.Instructions,
+		Cycles:           mr.Cycles,
+		IPC:              float64(mr.Instructions) / float64(mr.Cycles),
+		FetchCycles:      mr.FetchDone,
+		RetireCycles:     mr.RetireDone,
+		Sections:         len(mr.Sections),
+		RegRequests:      mr.RegRequests,
+		MemRequests:      mr.MemRequests,
+		CreateMessages:   mr.CreateMessages,
+		RequestHops:      mr.RequestHops,
+		ResponseMessages: mr.ResponseMessages,
+		DMHAnswers:       mr.DMHAnswers,
+		NocMessages:      mr.NocMessages(),
+		Checksum:         mr.RAX,
+	}
+	// The cache is best-effort: a failed store just means the point is
+	// re-simulated next time.
+	_ = e.Cache.Put(rec.Key, &rec.Metrics)
+	return rec
+}
+
+func (e *Engine) count(f func(*Stats)) {
+	e.mu.Lock()
+	f(&e.stats)
+	e.mu.Unlock()
+}

@@ -1,0 +1,319 @@
+package sweep
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/minic"
+	"repro/internal/pbbs"
+)
+
+// smallSpec is a 2-kernel × 2-core × 2-topology grid cheap enough for tests.
+func smallSpec() *Spec {
+	return &Spec{
+		Kernels:    []int{2, 10},
+		Sizes:      []int{16},
+		Cores:      []int{1, 4},
+		Topologies: []string{TopoCrossbar, TopoRing},
+		Seed:       1,
+	}
+}
+
+func TestSpecDefaults(t *testing.T) {
+	s := &Spec{}
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Kernels) != len(pbbs.Kernels()) {
+		t.Errorf("default kernels = %d, want all %d", len(s.Kernels), len(pbbs.Kernels()))
+	}
+	if len(s.Sizes) == 0 || len(s.Cores) == 0 || len(s.Topologies) == 0 ||
+		len(s.Shortcut) == 0 || len(s.MaxSections) == 0 || s.Seed == 0 {
+		t.Errorf("Normalize left an axis empty: %+v", s)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []*Spec{
+		{Kernels: []int{99}},
+		{Sizes: []int{0}},
+		{Cores: []int{-1}},
+		{Topologies: []string{"torus"}},
+		{MaxSections: []int{-2}},
+	}
+	for _, s := range bad {
+		if err := s.Normalize(); err == nil {
+			t.Errorf("Normalize(%+v) accepted a bad axis", s)
+		}
+	}
+}
+
+func TestPointsDedupClampedSizes(t *testing.T) {
+	k, err := pbbs.ByID(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both sizes clamp onto the kernel's minimum: one point, not two.
+	s := &Spec{Kernels: []int{2}, Sizes: []int{1, 2}, Cores: []int{1}}
+	pts, err := s.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || pts[0].N != k.MinN {
+		t.Errorf("points = %+v, want one point at the clamped size %d", pts, k.MinN)
+	}
+}
+
+func TestPointsDeterministicOrder(t *testing.T) {
+	a, err := smallSpec().Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := smallSpec().Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two enumerations of the same spec differ")
+	}
+	if len(a) != 8 {
+		t.Errorf("grid size = %d, want 2 kernels × 2 cores × 2 topologies = 8", len(a))
+	}
+}
+
+func TestMakeNet(t *testing.T) {
+	for _, cores := range []int{1, 2, 4, 6, 7, 16} {
+		for _, topo := range Topologies {
+			n, err := MakeNet(topo, cores)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", topo, cores, err)
+			}
+			if n.Cores() != cores {
+				t.Errorf("%s over %d cores reports %d endpoints", topo, cores, n.Cores())
+			}
+		}
+	}
+	if _, err := MakeNet("torus", 4); err == nil {
+		t.Error("MakeNet accepted an unknown topology")
+	}
+}
+
+func TestCacheKeySensitivity(t *testing.T) {
+	k, err := pbbs.ByID(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Point{Kernel: 2, N: 16, Cores: 4, Topology: TopoCrossbar, Shortcut: true, Seed: 1}
+	prog, err := k.Build(16, minic.ModeFork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := k.Gen(16, 1)
+	ref := cacheKey(prog, in, base)
+
+	perturbed := []Point{
+		{Kernel: 2, N: 16, Cores: 8, Topology: TopoCrossbar, Shortcut: true, Seed: 1},
+		{Kernel: 2, N: 16, Cores: 4, Topology: TopoRing, Shortcut: true, Seed: 1},
+		{Kernel: 2, N: 16, Cores: 4, Topology: TopoCrossbar, Shortcut: false, Seed: 1},
+		{Kernel: 2, N: 16, Cores: 4, Topology: TopoCrossbar, Shortcut: true, MaxSections: 2, Seed: 1},
+	}
+	for _, p := range perturbed {
+		if cacheKey(prog, in, p) == ref {
+			t.Errorf("config change %+v did not change the cache key", p)
+		}
+	}
+	if other, err := k.Build(24, minic.ModeFork); err != nil {
+		t.Fatal(err)
+	} else if cacheKey(other, in, base) == ref {
+		t.Error("program change did not change the cache key")
+	}
+	if cacheKey(prog, k.Gen(16, 7), base) == ref {
+		t.Error("input change did not change the cache key")
+	}
+	if cacheKey(prog, in, base) != ref {
+		t.Error("identical point hashed differently")
+	}
+}
+
+func TestEngineCachesAcrossEngines(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := &Engine{Cache: cache, Workers: 4}
+	recs1, err := e1.Run(smallSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := e1.Stats()
+	if s1.Hits != 0 || s1.Simulated != len(recs1) || s1.Failures != 0 {
+		t.Fatalf("first run stats = %+v, want all %d points simulated", s1, len(recs1))
+	}
+
+	// A fresh engine over the same directory models a separate process: every
+	// point must come from the cache, with zero machine re-simulations.
+	cache2, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := &Engine{Cache: cache2, Workers: 4}
+	recs2, err := e2.Run(smallSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := e2.Stats()
+	if s2.Simulated != 0 || s2.Hits != len(recs2) {
+		t.Fatalf("second run stats = %+v, want all %d points cached", s2, len(recs2))
+	}
+	if !reflect.DeepEqual(recs1, recs2) {
+		t.Error("cached records differ from simulated records")
+	}
+}
+
+func TestEngineWithoutCache(t *testing.T) {
+	e := &Engine{}
+	recs, err := e.Run(&Spec{Kernels: []int{10}, Sizes: []int{8}, Cores: []int{2}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Err != "" || recs[0].Cycles == 0 {
+		t.Errorf("cacheless run produced %+v", recs)
+	}
+	if s := e.Stats(); s.Hits != 0 || s.Simulated != 1 {
+		t.Errorf("cacheless stats = %+v", s)
+	}
+}
+
+func TestCorruptCacheEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{Cache: cache}
+	spec := &Spec{Kernels: []int{10}, Sizes: []int{8}, Cores: []int{1}}
+	recs, err := e.Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, recs[0].Key+".json"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e2 := &Engine{Cache: cache}
+	recs2, err := e2.Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := e2.Stats(); s.Simulated != 1 || s.Hits != 0 {
+		t.Errorf("corrupt entry was not re-simulated: %+v", s)
+	}
+	if recs2[0].Metrics != recs[0].Metrics {
+		t.Error("re-simulated metrics differ")
+	}
+}
+
+func TestEmitOrderAndJSONLDeterminism(t *testing.T) {
+	render := func() []byte {
+		var buf bytes.Buffer
+		jw := NewJSONLWriter(&buf)
+		e := &Engine{Workers: 8}
+		if _, err := e.Run(smallSpec(), func(r Record) {
+			if err := jw.Write(r); err != nil {
+				t.Fatal(err)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Error("two runs of the same grid produced different JSONL bytes")
+	}
+	recs, err := ReadJSONL(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := smallSpec().Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(pts) {
+		t.Fatalf("JSONL has %d records, grid has %d points", len(recs), len(pts))
+	}
+	for i := range recs {
+		if recs[i].Point != pts[i] {
+			t.Errorf("record %d is point %+v, want grid order %+v", i, recs[i].Point, pts[i])
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Point: Point{Kernel: 2, Name: "x/y", N: 16, Cores: 4, Topology: TopoRing, Shortcut: true, Seed: 1},
+			Metrics: Metrics{Instructions: 10, Cycles: 5, IPC: 2, NocMessages: 3, Checksum: 42}, Key: "abc"},
+		{Point: Point{Kernel: 3, Name: "z", N: 8, Cores: 1, Topology: TopoCrossbar, Seed: 1}, Err: "boom"},
+	}
+	var buf bytes.Buffer
+	jw := NewJSONLWriter(&buf)
+	for _, r := range recs {
+		if err := jw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Errorf("round trip: got %+v, want %+v", got, recs)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	p1 := Point{Kernel: 2, Name: "a", N: 16, Cores: 4, Topology: TopoRing, Shortcut: true, Seed: 1}
+	p2 := Point{Kernel: 3, Name: "b", N: 16, Cores: 4, Topology: TopoRing, Shortcut: true, Seed: 1}
+	p3 := Point{Kernel: 4, Name: "c", N: 16, Cores: 4, Topology: TopoRing, Shortcut: true, Seed: 1}
+	base := []Record{
+		{Point: p1, Metrics: Metrics{Cycles: 100, IPC: 1, NocMessages: 50}},
+		{Point: p2, Metrics: Metrics{Cycles: 10, IPC: 1, NocMessages: 5}},
+	}
+	cur := []Record{
+		{Point: p1, Metrics: Metrics{Cycles: 50, IPC: 2, NocMessages: 40}},
+		{Point: p3, Metrics: Metrics{Cycles: 1, IPC: 1, NocMessages: 1}},
+	}
+	d := Diff(base, cur)
+	if len(d.Rows) != 1 || d.BaseOnly != 1 || d.NewOnly != 1 {
+		t.Fatalf("diff = %+v, want 1 matched, 1 base-only, 1 new-only", d)
+	}
+	row := d.Rows[0]
+	if row.Speedup() != 2.0 {
+		t.Errorf("speedup = %v, want 2.0", row.Speedup())
+	}
+	if row.MsgDelta() != -10 {
+		t.Errorf("message delta = %d, want -10", row.MsgDelta())
+	}
+	// A renamed but otherwise identical point still matches.
+	renamed := []Record{{Point: func() Point { p := p1; p.Name = "renamed"; return p }(),
+		Metrics: Metrics{Cycles: 100}}}
+	if d := Diff(base[:1], renamed); len(d.Rows) != 1 {
+		t.Error("diff failed to match a point that differs only in display name")
+	}
+	// Failed records never match.
+	failed := []Record{{Point: p1, Err: "x"}}
+	if d := Diff(base[:1], failed); len(d.Rows) != 0 {
+		t.Error("diff matched a failed record")
+	}
+}
+
+func TestTableRendersFailures(t *testing.T) {
+	recs := []Record{{Point: Point{Kernel: 2, Name: "s/q", N: 4, Cores: 1, Topology: TopoCrossbar}, Err: "boom"}}
+	out := Table(recs)
+	if want := "FAIL: boom"; !bytes.Contains([]byte(out), []byte(want)) {
+		t.Errorf("table %q does not contain %q", out, want)
+	}
+}
