@@ -1,0 +1,73 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+// cmdBenchSim benchmarks the simulator itself: it times the dense and
+// idle-skip schedulers over a kernel × core-count grid, cross-checking on
+// every point that both produce identical simulation results, and writes the
+// report to BENCH_machine.json — the performance trajectory future changes
+// to the hot loop are diffed against.
+func cmdBenchSim(args []string) error {
+	fs := flag.NewFlagSet("bench-sim", flag.ExitOnError)
+	kernels := fs.String("kernels", "", "kernel selectors (default: the standard trajectory trio)")
+	n := fs.Int("n", 0, "dataset size (0 = grid default)")
+	cores := fs.String("cores", "", "comma-separated core counts (default: grid default)")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	runs := fs.Int("runs", 0, "timing repetitions per point and scheduler, best wins (0 = grid default)")
+	out := fs.String("o", "BENCH_machine.json", "report output path (empty: print table only)")
+	quick := fs.Bool("quick", false, "seconds-scale grid for CI smoke runs")
+	verify := fs.String("verify", "", "load and print an existing report instead of measuring")
+	fs.Parse(args)
+
+	if *verify != "" {
+		rep, err := bench.Load(*verify)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: schema %s\n", *verify, rep.Schema)
+		fmt.Print(rep.Table())
+		return nil
+	}
+
+	g := bench.DefaultGrid()
+	if *quick {
+		g = bench.QuickGrid()
+	}
+	if *kernels != "" {
+		g.Kernels = strings.Split(*kernels, ",")
+	}
+	if *n > 0 {
+		g.N = *n
+	}
+	if *cores != "" {
+		cs, err := parseSizes(*cores)
+		if err != nil {
+			return err
+		}
+		g.Cores = cs
+	}
+	if *runs > 0 {
+		g.Runs = *runs
+	}
+	g.Seed = *seed
+
+	rep, err := bench.Measure(g)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Table())
+	if *out != "" {
+		if err := rep.Write(*out); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bench-sim: report written to %s\n", *out)
+	}
+	return nil
+}

@@ -14,6 +14,9 @@
 //	                 cross-product of kernel × size × cores × NoC topology ×
 //	                 shortcut × placement cap, with a content-keyed result
 //	                 cache, streaming JSONL output and baseline diffing
+//	repro bench-sim — time the simulator itself: dense vs idle-skip
+//	                 scheduler over a kernel × cores grid, cross-checked for
+//	                 identical results, written to BENCH_machine.json
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"strings"
 
 	"repro/internal/analytic"
+	"repro/internal/backend"
 	"repro/internal/pbbs"
 )
 
@@ -31,11 +35,12 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage: repro <command> [flags]
 
 commands:
-  bench     run every kernel on the emulator and validate checksums
-  ilp       print the Fig. 7 table (sequential vs parallel trace ILP)
-  machine   cross-validate kernels on the many-core simulator
-  analytic  print the Section 5 scaling table
-  sweep     scaling laboratory: sweep cores × topology × shortcut × cap
+  bench      run every kernel on the emulator and validate checksums
+  ilp        print the Fig. 7 table (sequential vs parallel trace ILP)
+  machine    cross-validate kernels on the many-core simulator
+  analytic   print the Section 5 scaling table
+  sweep      scaling laboratory: sweep cores × topology × shortcut × cap
+  bench-sim  benchmark the simulator: dense vs idle-skip scheduler
 
 run "repro <command> -h" for the flags of each command.
 `)
@@ -58,6 +63,8 @@ func main() {
 		err = cmdAnalytic(os.Args[2:])
 	case "sweep":
 		err = cmdSweep(os.Args[2:])
+	case "bench-sim":
+		err = cmdBenchSim(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -146,6 +153,7 @@ func cmdMachine(args []string) error {
 	seed := fs.Uint64("seed", 1, "workload seed")
 	cores := fs.Int("cores", 8, "simulated cores")
 	kid := fs.Int("kernel", 0, "benchmark number (0 = all)")
+	dense := fs.Bool("dense", false, "use the reference dense scheduler instead of idle-skip")
 	fs.Parse(args)
 	ks, err := selectKernels(*kid)
 	if err != nil {
@@ -156,7 +164,9 @@ func cmdMachine(args []string) error {
 	failed := false
 	for _, k := range ks {
 		kn := k.ClampN(*n)
-		rm, err := k.CrossValidate(*n, *seed, *cores)
+		mb := backend.NewMachine(*cores)
+		mb.Cfg.Dense = *dense
+		rm, err := k.CrossValidateOn(mb, *n, *seed)
 		if err != nil {
 			fmt.Printf("%-3d %-40s %8d %10s %10s %9s %9s FAIL: %v\n",
 				k.ID, k.Name, kn, "-", "-", "-", "-", err)

@@ -42,6 +42,7 @@ func cmdSweep(args []string) error {
 	cacheDir := fs.String("cache", ".sweep-cache", "result cache directory (empty disables caching)")
 	baseline := fs.String("baseline", "", "baseline sweep JSONL to diff against")
 	against := fs.String("against", "", "diff -baseline against this sweep file instead of running")
+	dense := fs.Bool("dense", false, "use the reference dense scheduler instead of idle-skip")
 	fs.Parse(args)
 
 	// Pure diff mode: two existing files, no simulation.
@@ -86,7 +87,7 @@ func cmdSweep(args []string) error {
 		return err
 	}
 
-	eng := &sweep.Engine{Workers: *workers}
+	eng := &sweep.Engine{Workers: *workers, Dense: *dense}
 	if *cacheDir != "" {
 		if eng.Cache, err = sweep.NewCache(*cacheDir); err != nil {
 			return err

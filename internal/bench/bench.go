@@ -1,0 +1,263 @@
+// Package bench times the cycle-level machine simulator itself — not the
+// simulated chip. It runs a fixed kernel × core-count grid under both
+// schedulers (the reference dense loop and the idle-skip scheduler), verifies
+// on every point that the two produce bit-identical simulation results, and
+// reports wall time and nanoseconds per simulated cycle for each.
+//
+// `repro bench-sim` serialises the report to BENCH_machine.json, the
+// checked-in performance trajectory every future change to the simulator's
+// hot loop is diffed against.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/minic"
+	"repro/internal/pbbs"
+)
+
+// Schema identifies the BENCH_machine.json format.
+const Schema = "bench-machine-v1"
+
+// Grid describes the benchmark grid.
+type Grid struct {
+	// Kernels are pbbs selectors (IDs or name substrings). Empty selects the
+	// default trio covering a sorting, a graph and a hashing kernel.
+	Kernels []string
+	// N is the dataset size (clamped per kernel).
+	N int
+	// Cores are the simulated core counts. The 64-core point is where
+	// idle-skip pays: few live sections spread over many cores means most
+	// cores idle most cycles.
+	Cores []int
+	// Seed is the workload seed.
+	Seed uint64
+	// Runs is how many times each (point, scheduler) pair is timed; the
+	// minimum wall time is reported, the usual defence against scheduling
+	// noise.
+	Runs int
+}
+
+// DefaultGrid returns the standard trajectory grid: a fork-heavy kernel
+// (quickSort), the few-sections extreme (removeDuplicates runs two sections,
+// so on 64 cores almost every core idles almost every cycle) and the
+// many-sections extreme (parallelKruskal, where the dense loop's per-core
+// section scans dominate).
+func DefaultGrid() Grid {
+	return Grid{
+		Kernels: []string{"quicksort", "duplicates", "kruskal"},
+		N:       64,
+		Cores:   []int{1, 16, 64},
+		Seed:    1,
+		Runs:    3,
+	}
+}
+
+// QuickGrid returns a seconds-scale grid for CI smoke runs.
+func QuickGrid() Grid {
+	return Grid{
+		Kernels: []string{"duplicates"},
+		N:       64,
+		Cores:   []int{1, 64},
+		Seed:    1,
+		Runs:    1,
+	}
+}
+
+// Point is one measured grid point: one kernel at one core count, simulated
+// under both schedulers.
+type Point struct {
+	Kernel       string `json:"kernel"`
+	N            int    `json:"n"`
+	Cores        int    `json:"cores"`
+	Sections     int    `json:"sections"`
+	Instructions int64  `json:"instructions"`
+	Cycles       int64  `json:"cycles"`
+	NocMessages  int64  `json:"nocMessages"`
+	// DenseNs and IdleSkipNs are the best-of-Runs wall times of one full
+	// simulation under each scheduler.
+	DenseNs    int64 `json:"denseNs"`
+	IdleSkipNs int64 `json:"idleSkipNs"`
+	// DenseNsPerCycle and IdleSkipNsPerCycle divide the wall times by the
+	// simulated cycle count — the simulator's figure of merit.
+	DenseNsPerCycle    float64 `json:"denseNsPerCycle"`
+	IdleSkipNsPerCycle float64 `json:"idleSkipNsPerCycle"`
+	// Speedup is DenseNsPerCycle / IdleSkipNsPerCycle (the cycle counts are
+	// identical by construction, so this equals the wall-time ratio).
+	Speedup float64 `json:"speedup"`
+}
+
+// Report is the serialised benchmark outcome.
+type Report struct {
+	Schema    string  `json:"schema"`
+	GoVersion string  `json:"goVersion"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	CPUs      int     `json:"cpus"`
+	Runs      int     `json:"runs"`
+	Points    []Point `json:"points"`
+	// Aggregates over the whole grid: total wall time divided by total
+	// simulated cycles, per scheduler, and the total wall-time ratio.
+	DenseNsPerCycle    float64 `json:"denseNsPerCycle"`
+	IdleSkipNsPerCycle float64 `json:"idleSkipNsPerCycle"`
+	Speedup            float64 `json:"speedup"`
+}
+
+// Measure runs the grid and builds the report. Every point cross-checks the
+// two schedulers: differing cycles, instruction counts, checksums or NoC
+// message totals are an error, so timing numbers are only ever produced for
+// verified-identical simulations.
+func Measure(g Grid) (*Report, error) {
+	if g.N <= 0 {
+		g.N = 64
+	}
+	if g.Runs <= 0 {
+		g.Runs = 1
+	}
+	if len(g.Cores) == 0 {
+		g.Cores = DefaultGrid().Cores
+	}
+	if g.Seed == 0 {
+		g.Seed = 1
+	}
+	sel := strings.Join(g.Kernels, ",")
+	if sel == "" {
+		sel = strings.Join(DefaultGrid().Kernels, ",")
+	}
+	ks, err := pbbs.FindAll(sel)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Schema:    Schema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Runs:      g.Runs,
+	}
+	var denseNs, skipNs, cycles int64
+	for _, k := range ks {
+		n := k.ClampN(g.N)
+		prog, err := k.Build(n, minic.ModeFork)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", k.Name, err)
+		}
+		in := k.Gen(n, g.Seed)
+		want := k.Ref(n, in)
+		for _, cores := range g.Cores {
+			pt := Point{Kernel: k.Name, N: n, Cores: cores}
+			for run := 0; run < g.Runs; run++ {
+				for _, dense := range []bool{true, false} {
+					// The paper-calibrated default config (shortcut on,
+					// 2-cycle creates) — the same machine every other entry
+					// point simulates — with only the scheduler varied.
+					mb := backend.NewMachine(cores)
+					mb.Cfg.Dense = dense
+					start := time.Now()
+					res, err := mb.Run(prog, in, false)
+					ns := time.Since(start).Nanoseconds()
+					if err != nil {
+						return nil, fmt.Errorf("bench: %s c%d dense=%v: %w", k.Name, cores, dense, err)
+					}
+					mr := res.Machine
+					if mr.RAX != want {
+						return nil, fmt.Errorf("bench: %s c%d dense=%v: checksum %d, reference %d",
+							k.Name, cores, dense, mr.RAX, want)
+					}
+					if dense {
+						if pt.DenseNs == 0 || ns < pt.DenseNs {
+							pt.DenseNs = ns
+						}
+						pt.Sections = len(mr.Sections)
+						pt.Instructions = mr.Instructions
+						pt.Cycles = mr.Cycles
+						pt.NocMessages = mr.NocMessages()
+						continue
+					}
+					if pt.IdleSkipNs == 0 || ns < pt.IdleSkipNs {
+						pt.IdleSkipNs = ns
+					}
+					// The cross-check: idle-skip must match the dense oracle
+					// (the dense run of this iteration always came first).
+					if mr.Cycles != pt.Cycles || mr.Instructions != pt.Instructions ||
+						mr.NocMessages() != pt.NocMessages {
+						return nil, fmt.Errorf(
+							"bench: %s c%d: idle-skip diverges from dense (cycles %d vs %d, instr %d vs %d, noc %d vs %d)",
+							k.Name, cores, mr.Cycles, pt.Cycles, mr.Instructions, pt.Instructions,
+							mr.NocMessages(), pt.NocMessages)
+					}
+				}
+			}
+			pt.DenseNsPerCycle = float64(pt.DenseNs) / float64(pt.Cycles)
+			pt.IdleSkipNsPerCycle = float64(pt.IdleSkipNs) / float64(pt.Cycles)
+			pt.Speedup = pt.DenseNsPerCycle / pt.IdleSkipNsPerCycle
+			denseNs += pt.DenseNs
+			skipNs += pt.IdleSkipNs
+			cycles += pt.Cycles
+			rep.Points = append(rep.Points, pt)
+		}
+	}
+	if cycles > 0 {
+		rep.DenseNsPerCycle = float64(denseNs) / float64(cycles)
+		rep.IdleSkipNsPerCycle = float64(skipNs) / float64(cycles)
+	}
+	if skipNs > 0 {
+		rep.Speedup = float64(denseNs) / float64(skipNs)
+	}
+	return rep, nil
+}
+
+// Write serialises the report to path (indented JSON, trailing newline).
+func (r *Report) Write(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads and validates a report written by Write.
+func Load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("bench: %s: schema %q, want %q", path, r.Schema, Schema)
+	}
+	if len(r.Points) == 0 {
+		return nil, fmt.Errorf("bench: %s: no points", path)
+	}
+	return &r, nil
+}
+
+// Table renders the report as an aligned text table.
+func (r *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %5s %6s %5s %10s %11s %11s %10s %10s %7s\n",
+		"benchmark", "n", "cores", "secs", "cycles", "dense-ms", "idle-ms", "dense-ns/c", "idle-ns/c", "speedup")
+	for _, p := range r.Points {
+		name := p.Kernel
+		if i := strings.IndexByte(name, '/'); i >= 0 {
+			name = name[i+1:]
+		}
+		fmt.Fprintf(&b, "%-28s %5d %6d %5d %10d %11.2f %11.2f %10.1f %10.1f %6.2fx\n",
+			name, p.N, p.Cores, p.Sections, p.Cycles,
+			float64(p.DenseNs)/1e6, float64(p.IdleSkipNs)/1e6,
+			p.DenseNsPerCycle, p.IdleSkipNsPerCycle, p.Speedup)
+	}
+	fmt.Fprintf(&b, "aggregate: dense %.1f ns/cycle, idle-skip %.1f ns/cycle, speedup %.2fx (%s, %d cpus, best of %d)\n",
+		r.DenseNsPerCycle, r.IdleSkipNsPerCycle, r.Speedup, r.GoVersion, r.CPUs, r.Runs)
+	return b.String()
+}

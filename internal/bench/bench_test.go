@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/pbbs"
+)
+
+// TestCrossCheckAllKernels is the acceptance cross-check: on all ten PBBS
+// kernels the idle-skip and dense schedulers must produce identical cycles,
+// instruction counts and NoC message totals — Measure errors out on any
+// divergence, so a nil error here is the proof.
+func TestCrossCheckAllKernels(t *testing.T) {
+	if len(pbbs.Kernels()) != 10 {
+		t.Fatalf("registry has %d kernels, want the ten of Table 1", len(pbbs.Kernels()))
+	}
+	rep, err := Measure(Grid{Kernels: []string{"all"}, N: 12, Cores: []int{7}, Seed: 1, Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 10 {
+		t.Fatalf("measured %d points, want 10", len(rep.Points))
+	}
+	for _, p := range rep.Points {
+		if p.Cycles <= 0 || p.Instructions <= 0 || p.DenseNs <= 0 || p.IdleSkipNs <= 0 {
+			t.Errorf("%s: degenerate point %+v", p.Kernel, p)
+		}
+		if p.Speedup <= 0 {
+			t.Errorf("%s: non-positive speedup %v", p.Kernel, p.Speedup)
+		}
+	}
+}
+
+func TestReportRoundTripAndTable(t *testing.T) {
+	rep, err := Measure(QuickGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != Schema || rep.Speedup <= 0 || rep.DenseNsPerCycle <= 0 {
+		t.Fatalf("degenerate report: %+v", rep)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_machine.json")
+	if err := rep.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rep) {
+		t.Error("report did not survive the Write/Load round trip")
+	}
+	tbl := rep.Table()
+	for _, want := range []string{"deterministicHash", "speedup", "aggregate:"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Error("Load accepted non-JSON")
+	}
+	wrong := filepath.Join(dir, "wrong.json")
+	if err := os.WriteFile(wrong, []byte(`{"schema":"other","points":[{}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(wrong); err == nil {
+		t.Error("Load accepted a wrong schema")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"schema":"`+Schema+`"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(empty); err == nil {
+		t.Error("Load accepted a pointless report")
+	}
+}
+
+func TestBadSelector(t *testing.T) {
+	if _, err := Measure(Grid{Kernels: []string{"no-such-kernel"}}); err == nil {
+		t.Error("Measure accepted an unknown kernel selector")
+	}
+}

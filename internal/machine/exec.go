@@ -8,11 +8,7 @@ import (
 
 // setReg records one register result of d becoming available at cycle cyc.
 func (d *DynInst) setReg(r isa.Reg, v uint64, cyc int64) {
-	if d.regOut == nil {
-		d.regOut = make(map[isa.Reg]uint64, 2)
-		d.regAt = make(map[isa.Reg]int64, 2)
-	}
-	if _, dup := d.regOut[r]; dup {
+	if d.regAt[r] != 0 {
 		// Keep the earliest availability (e.g. pop's rsp update computed at
 		// fetch must not be delayed by the load half).
 		d.regOut[r] = v

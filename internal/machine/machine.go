@@ -21,6 +21,7 @@ package machine
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/emu"
 	"repro/internal/isa"
@@ -51,6 +52,14 @@ type Config struct {
 	// cap is soft: if every core is at the cap the least loaded core is
 	// used anyway. 0 keeps the default least-loaded spreading.
 	MaxSectionsPerCore int
+	// Dense selects the reference dense scheduler, which visits every core,
+	// stage and request on every cycle. The default (false) is the idle-skip
+	// scheduler: each cycle visits only cores with runnable work, and when
+	// nothing in the chip can act before a known future cycle the clock
+	// jumps there directly. Both schedulers produce bit-identical results
+	// (cycles, timings, message counts); dense exists as the oracle the
+	// idle-skip cross-check tests and `repro bench-sim` compare against.
+	Dense bool
 	// StallLimit aborts the run when no architectural progress happens for
 	// this many cycles (deadlock detector). Defaults to 10000.
 	StallLimit int64
@@ -110,7 +119,7 @@ type regProd struct {
 }
 
 func (p regProd) readyAt() int64 {
-	if t, ok := p.inst.regAt[p.reg]; ok {
+	if t := p.inst.regAt[p.reg]; t != 0 {
 		return t
 	}
 	return -1
@@ -148,8 +157,12 @@ type DynInst struct {
 	class           isa.Class
 	computedAtFetch bool
 	srcs            []srcRef
-	regOut          map[isa.Reg]uint64 // register results
-	regAt           map[isa.Reg]int64  // cycle each register result was ready
+	// regOut/regAt hold the register results and the cycle each became
+	// ready (0 = no result for that register; real cycles start at 1).
+	// Fixed arrays, not maps: readyAt is the hottest read in the simulator —
+	// every waiting instruction re-polls its sources via it each cycle.
+	regOut [isa.NumRegs]uint64
+	regAt  [isa.NumRegs]int64
 
 	addr     uint64 // effective address (mem ops), set at EW
 	storeVal uint64 // store data, set at MA
@@ -170,6 +183,12 @@ type DynInst struct {
 	// register-rename, execute-write-back, address-rename, memory-access,
 	// retire. These are the six columns of the paper's Fig. 10.
 	tFD, tRR, tEW, tAR, tMA, tRET int64
+
+	// ewWakeAt/maWakeAt cache the earliest cycle the instruction can pass
+	// the execute-write-back / memory-access stage (0 = not yet known).
+	// Producer ready times are write-once, so a known wake never changes
+	// and the per-cycle readiness poll collapses to one comparison.
+	ewWakeAt, maWakeAt int64
 }
 
 func (d *DynInst) isMem() bool { return d.class == isa.ClassLoad || d.class == isa.ClassStore }
@@ -263,9 +282,23 @@ type Machine struct {
 	lastMove  int64
 	hltSeen   bool
 	err       error // first fault (bad fetch, div by zero, ...)
+	// quietMove records a state change that moves no counter (today only the
+	// fetch stage suspending a stalled section); the idle-skip scheduler must
+	// not jump the clock over a cycle that mutated anything.
+	quietMove bool
 
 	pendingCreates   int
 	regReqs, memReqs int64
+
+	// retirePick/arPick are the idle-skip scheduler's per-core work lists for
+	// the two stages that scan the section order: one pass over the live
+	// sections fills them, replacing the dense loop's per-core scans. An
+	// entry is valid only when its generation matches pickGen — bumping the
+	// generation invalidates every pick without rewriting two pointer
+	// arrays each cycle.
+	retirePick, arPick []*Section
+	retireGen, arGen   []int64
+	pickGen            int64
 
 	// NoC message accounting: section-creation messages sent by forks,
 	// request-forwarding messages between cores, value responses travelling
@@ -304,6 +337,10 @@ func New(prog *isa.Program, cfg Config) (*Machine, error) {
 	for i := 0; i < cfg.Cores; i++ {
 		m.cores = append(m.cores, &Core{id: i})
 	}
+	m.retirePick = make([]*Section, cfg.Cores)
+	m.arPick = make([]*Section, cfg.Cores)
+	m.retireGen = make([]int64, cfg.Cores)
+	m.arGen = make([]int64, cfg.Cores)
 	m.dmh = emu.NewMemory()
 	m.dmh.CopyIn(isa.DataBase, prog.Data)
 	m.arch[isa.RSP] = isa.StackTop
@@ -403,8 +440,20 @@ func (m *Machine) assignHost(s *Section, deliverAt int64) {
 	m.pendingCreates++
 }
 
-// Run simulates until completion and returns the result.
+// Run simulates until completion and returns the result. The default
+// scheduler is idle-skip (see runIdleSkip); Config.Dense selects the
+// reference dense loop. Both produce bit-identical results.
 func (m *Machine) Run() (*Result, error) {
+	if m.cfg.Dense {
+		return m.runDense()
+	}
+	return m.runIdleSkip()
+}
+
+// runDense is the reference scheduler: every cycle visits every core, every
+// stage and every request, whether or not anything can make progress. It is
+// kept as the oracle the idle-skip scheduler is cross-checked against.
+func (m *Machine) runDense() (*Result, error) {
 	for {
 		if m.err != nil {
 			return nil, m.err
@@ -434,6 +483,280 @@ func (m *Machine) Run() (*Result, error) {
 				m.cfg.StallLimit, m.cycle, m.stuckReport())
 		}
 	}
+}
+
+// runIdleSkip is the work-list-driven scheduler. Three observations make it
+// exact (not approximate):
+//
+//   - The two stages that scan the whole section order per core (retire and
+//     address rename) pick the oldest hosted section whose head is eligible,
+//     and eligibility cannot change mid-cycle (a completion timestamp set
+//     this cycle fails the strictly-older boundary either way), so one pass
+//     over the live sections computes every core's pick up front (pickHeads)
+//     — same choice, O(sections) instead of O(cores × sections).
+//   - A core with no pick whose fetch slot, message FIFO, suspension list
+//     and stage queues are all empty cannot act: the remaining stages read
+//     only that state, so the core is skipped entirely.
+//   - If a whole cycle mutates nothing (no stage fired, no request moved,
+//     no section was suspended or dumped), then the machine state at the
+//     next cycle is identical and the earliest cycle at which anything can
+//     act is decided purely by stored timestamps (stage completion times,
+//     message delivery times, request availability, value-ready times).
+//     nextWake enumerates every such timestamp, so the clock can jump
+//     straight to the minimum — every skipped cycle is one the dense loop
+//     would have spent doing nothing.
+//
+// The stall detector and the cycle cap are clamped into the jump so that
+// pathological programs fail at the same cycle, with the same error, as
+// under the dense loop.
+func (m *Machine) runIdleSkip() (*Result, error) {
+	acted := true
+	for {
+		if m.err != nil {
+			return nil, m.err
+		}
+		if m.done() {
+			return m.result(), nil
+		}
+		if acted {
+			m.cycle++
+		} else {
+			next := m.nextWake()
+			if bound := m.lastMove + m.cfg.StallLimit + 1; next > bound {
+				next = bound
+			}
+			if bound := m.cfg.MaxCycles + 1; next > bound {
+				next = bound
+			}
+			m.cycle = next
+		}
+		if m.cycle > m.cfg.MaxCycles {
+			return nil, fmt.Errorf("machine: exceeded %d cycles", m.cfg.MaxCycles)
+		}
+		before, hops := m.progress, m.reqHops
+		m.quietMove = false
+		m.pickHeads()
+		for _, c := range m.cores {
+			var rp, ap *Section
+			if m.retireGen[c.id] == m.pickGen {
+				rp = m.retirePick[c.id]
+			}
+			if m.arGen[c.id] == m.pickGen {
+				ap = m.arPick[c.id]
+			}
+			if rp == nil && ap == nil && !coreActive(c) {
+				continue
+			}
+			if rp != nil {
+				m.retireApply(rp, rp.Insts[rp.retired])
+			}
+			m.stageMA(c)
+			if ap != nil {
+				m.arApply(c, ap, ap.arQ[0])
+			}
+			m.stageEW(c)
+			m.stageRR(c)
+			m.stageFD(c)
+		}
+		m.processRequests()
+		m.dumpOldest()
+		acted = m.progress != before || m.reqHops != hops || m.quietMove
+		if m.progress != before {
+			m.lastMove = m.cycle
+		} else if m.cycle-m.lastMove > m.cfg.StallLimit {
+			return nil, fmt.Errorf("machine: no progress for %d cycles at cycle %d: %s",
+				m.cfg.StallLimit, m.cycle, m.stuckReport())
+		}
+	}
+}
+
+// pickHeads fills the per-core retire and address-rename picks: for each
+// core, the oldest hosted live section whose respective head is eligible
+// this cycle. m.order[m.oldest:] is exactly the live sections in ascending
+// position, so the first hit per core is the dense loop's min-position
+// choice.
+func (m *Machine) pickHeads() {
+	m.pickGen++
+	for _, s := range m.order[m.oldest:] {
+		c := s.Core
+		if m.retireGen[c] != m.pickGen && m.retireHead(s) != nil {
+			m.retirePick[c] = s
+			m.retireGen[c] = m.pickGen
+		}
+		if m.arGen[c] != m.pickGen && m.arHead(s) != nil {
+			m.arPick[c] = s
+			m.arGen[c] = m.pickGen
+		}
+	}
+}
+
+// coreActive reports whether any stage other than retire and address rename
+// (which have explicit picks) could possibly act on c this cycle. Those
+// stages read only the core's own slots and queues, so a core with none of
+// that state is skipped without calling its stages.
+func coreActive(c *Core) bool {
+	return c.fetch != nil ||
+		len(c.pending) > 0 || len(c.suspended) > 0 ||
+		len(c.renameQ) > 0 || len(c.iq) > 0 || len(c.lsq) > 0
+}
+
+// never is the wake time of work that is blocked on a value or condition not
+// yet produced: it cannot become runnable without some other action first,
+// and that action has its own wake entry.
+const never = int64(math.MaxInt64)
+
+// nextWake returns the earliest cycle at which anything in the machine could
+// act, assuming nothing acted in the cycle just simulated (so every blocking
+// condition is decided by stored timestamps alone). Entries may be
+// conservative (too early just wastes a visit); they must never be late.
+// Each entry mirrors one `... < m.cycle` / `... >= m.cycle` comparison in
+// the stage and request code.
+func (m *Machine) nextWake() int64 {
+	w := never
+	wake := func(t int64) {
+		if t <= m.cycle {
+			t = m.cycle + 1
+		}
+		if t < w {
+			w = t
+		}
+	}
+	for _, c := range m.cores {
+		if c.fetch != nil {
+			if d := c.fetch.stalled; d != nil {
+				if d.resolved && d.tEW > 0 {
+					wake(d.tEW + 1) // branch redirect visible the cycle after EW
+				}
+			} else {
+				wake(m.cycle + 1) // fetch in flight: one instruction per cycle
+			}
+		}
+		if len(c.pending) > 0 {
+			wake(c.pending[0].deliverAt + 1) // creation message consumable
+		}
+		for _, s := range c.suspended {
+			if d := s.stalled; d != nil && d.resolved && d.tEW > 0 {
+				wake(d.tEW + 1)
+			}
+		}
+		if len(c.renameQ) > 0 {
+			wake(c.renameQ[0].tFD + 1) // rename the cycle after fetch
+		}
+		for _, d := range c.iq {
+			wake(m.ewWake(d))
+		}
+		for _, d := range c.lsq {
+			wake(m.maWake(d))
+		}
+	}
+	// Sections before m.oldest are dumped; later ones host the in-order
+	// address-rename and retire heads.
+	for _, s := range m.order[m.oldest:] {
+		if len(s.arQ) > 0 {
+			if h := s.arQ[0]; h.tEW > 0 {
+				wake(h.tEW + 1)
+			}
+		}
+		if s.retired < len(s.Insts) {
+			h := s.Insts[s.retired]
+			if h.done() {
+				if h.isMem() {
+					wake(h.tMA + 1)
+				} else {
+					wake(h.tEW + 1)
+				}
+			}
+		}
+	}
+	for _, r := range m.reqs {
+		if r.availableAt > m.cycle {
+			wake(r.availableAt) // in flight: may act on arrival
+			continue
+		}
+		// Waiting at its target for the producer's value (a target that is
+		// not yet fully renamed, or a producer slot not yet filled, can only
+		// change through another action, which has its own wake entry).
+		if t := r.target; t != nil {
+			var p producer
+			if r.kind == reqReg {
+				if t.fullyRenamed() {
+					p = t.rat[r.reg]
+				}
+			} else if t.memRenameDone() {
+				p = t.maat[r.addr]
+			}
+			if p != nil {
+				if at := p.readyAt(); at >= 0 {
+					wake(at + 1) // export reads the value the cycle after
+				}
+			}
+		}
+	}
+	return w
+}
+
+// ewWake returns the earliest cycle d can pass the execute-write-back stage
+// (a stage boundary: the cycle after the last of its rename and relevant
+// source-ready times), or never while a source value has not been produced
+// yet. A known wake is cached on the instruction — producer ready times are
+// write-once, so it cannot change.
+func (m *Machine) ewWake(d *DynInst) int64 {
+	if d.ewWakeAt != 0 {
+		return d.ewWakeAt
+	}
+	if d.tRR == 0 {
+		return never // not renamed yet: the rename-queue entry covers it
+	}
+	t := d.tRR
+	if !d.computedAtFetch || d.isMem() {
+		for _, s := range d.srcs {
+			if d.isMem() && !s.addr {
+				continue
+			}
+			at := s.prod.readyAt()
+			if at < 0 {
+				return never
+			}
+			if at > t {
+				t = at
+			}
+		}
+	}
+	d.ewWakeAt = t + 1
+	return d.ewWakeAt
+}
+
+// maWake returns the earliest cycle d can pass the memory-access stage, or
+// never while its loaded value or a source is not yet produced. A known wake
+// is cached, like ewWake's.
+func (m *Machine) maWake(d *DynInst) int64 {
+	if d.maWakeAt != 0 {
+		return d.maWakeAt
+	}
+	if d.tAR == 0 {
+		return never // not address-renamed yet: the AR head entry covers it
+	}
+	t := d.tAR
+	if d.memSrc != nil {
+		at := d.memSrc.readyAt()
+		if at < 0 {
+			return never
+		}
+		if at > t {
+			t = at
+		}
+	}
+	for _, s := range d.srcs {
+		at := s.prod.readyAt()
+		if at < 0 {
+			return never
+		}
+		if at > t {
+			t = at
+		}
+	}
+	d.maWakeAt = t + 1
+	return d.maWakeAt
 }
 
 func (m *Machine) done() bool {

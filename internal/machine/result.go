@@ -16,13 +16,19 @@ type InstTiming struct {
 	SecPos                  int   // final position in the total section order
 	Idx                     int   // ordinal within the section (1-based in Label)
 	IP                      int64
-	Text                    string
+	In                      *isa.Instruction
 	Level                   int32
 	FD, RR, EW, AR, MA, RET int64
 }
 
 // Label renders the paper's "section-ordinal" instruction name (e.g. "2-13").
 func (t InstTiming) Label() string { return fmt.Sprintf("%d-%d", t.SecPos, t.Idx+1) }
+
+// Text renders the instruction. It is a method, not a precomputed field:
+// formatting every dynamic instruction eagerly used to dominate Result
+// construction on big runs, charged to every simulation whether or not a
+// Fig. 10 table was wanted.
+func (t InstTiming) Text() string { return t.In.String() }
 
 // SectionInfo summarises one section.
 type SectionInfo struct {
@@ -111,9 +117,13 @@ func (m *Machine) result() *Result {
 		ResponseMessages: m.respMsgs,
 		DMHAnswers:       m.dmhAnswers,
 	}
+	var fetched int64
 	for _, c := range m.cores {
 		r.FetchedPerCore = append(r.FetchedPerCore, c.fetched)
+		fetched += c.fetched
 	}
+	r.Timings = make([]InstTiming, 0, fetched)
+	r.Sections = make([]SectionInfo, 0, len(m.order))
 	for _, s := range m.order {
 		info := SectionInfo{
 			ID: s.ID, Pos: s.Pos, Core: s.Core, BaseLevel: s.BaseLevel,
@@ -132,19 +142,14 @@ func (m *Machine) result() *Result {
 			}
 			r.Timings = append(r.Timings, InstTiming{
 				Section: s.ID, SecPos: s.Pos, Idx: d.Idx, IP: d.IP,
-				Text: d.In.String(), Level: d.Level,
+				In: d.In, Level: d.Level,
 				FD: d.tFD, RR: d.tRR, EW: d.tEW, AR: d.tAR, MA: d.tMA, RET: d.tRET,
 			})
 		}
 		r.Sections = append(r.Sections, info)
 	}
-	sort.Slice(r.Timings, func(i, j int) bool {
-		if r.Timings[i].SecPos != r.Timings[j].SecPos {
-			return r.Timings[i].SecPos < r.Timings[j].SecPos
-		}
-		return r.Timings[i].Idx < r.Timings[j].Idx
-	})
-	sort.Slice(r.Sections, func(i, j int) bool { return r.Sections[i].Pos < r.Sections[j].Pos })
+	// m.order is maintained in ascending position (Pos == index), so both
+	// slices are built already sorted in global trace order.
 	return r
 }
 
@@ -186,7 +191,7 @@ func (r *Result) Fig10Table() string {
 		}
 		for _, t := range rows {
 			fmt.Fprintf(&b, "%-7s %-28s %5s %5s %5s %5s %5s %5s\n",
-				t.Label(), t.Text, dash(t.FD), dash(t.RR), dash(t.EW), dash(t.AR), dash(t.MA), dash(t.RET))
+				t.Label(), t.Text(), dash(t.FD), dash(t.RR), dash(t.EW), dash(t.AR), dash(t.MA), dash(t.RET))
 		}
 		b.WriteByte('\n')
 	}

@@ -17,6 +17,18 @@ func older(a, b *DynInst) bool {
 
 // ---------------------------------------------------------------- fetch ----
 
+// branchResumable reports whether a stalled control instruction's redirect is
+// usable by the fetch stage this cycle. The execute-write-back stage of cycle
+// t publishes the branch target at the end of t, so fetch may resume at t+1 —
+// the same strictly-older boundary every other consumer of a stage result
+// applies (ewReady, maReady, stageRetire). This helper is the single home of
+// that comparison; TestStallResumeLatency pins the one-cycle resume latency
+// so an off-by-one (resuming at t+2, or same-cycle at t) cannot creep back in
+// at any of the three call sites (stalled fetch, hasFetchWork, pickSection).
+func (m *Machine) branchResumable(d *DynInst) bool {
+	return d != nil && d.resolved && d.tEW > 0 && d.tEW < m.cycle
+}
+
 // stageFD implements the fetch-decode-and-partly-execute stage (Fig. 8):
 // one instruction per cycle, simple ALU and control instructions computed
 // in-stage when their sources are full in the stage-local register file.
@@ -30,7 +42,7 @@ func (m *Machine) stageFD(c *Core) {
 	sec := c.fetch
 	if sec.stalled != nil {
 		d := sec.stalled
-		if d.resolved && d.tEW > 0 && d.tEW < m.cycle {
+		if m.branchResumable(d) {
 			sec.fetchIP = d.nextIP
 			sec.stalled = nil
 			m.progress++
@@ -44,6 +56,7 @@ func (m *Machine) stageFD(c *Core) {
 				sec.rfSave = c.rf
 				c.suspended = append(c.suspended, sec)
 				c.fetch = nil
+				m.quietMove = true // state change with no counter move
 			}
 			return
 		}
@@ -173,8 +186,7 @@ func (m *Machine) hasFetchWork(c *Core) bool {
 		return true
 	}
 	for _, s := range c.suspended {
-		d := s.stalled
-		if d != nil && d.resolved && d.tEW > 0 && d.tEW < m.cycle {
+		if m.branchResumable(s.stalled) {
 			return true
 		}
 	}
@@ -187,7 +199,7 @@ func (m *Machine) hasFetchWork(c *Core) bool {
 func (m *Machine) pickSection(c *Core) {
 	for i, s := range c.suspended {
 		d := s.stalled
-		if d != nil && d.resolved && d.tEW > 0 && d.tEW < m.cycle {
+		if m.branchResumable(d) {
 			c.suspended = append(c.suspended[:i], c.suspended[i+1:]...)
 			s.fetchIP = d.nextIP
 			s.stalled = nil
@@ -302,36 +314,17 @@ func (m *Machine) stageRR(c *Core) {
 
 // -------------------------------------------------------------- execute ----
 
-// ewReady reports whether d can pass the execute-write-back stage: for
-// memory instructions only the address-forming sources must be ready; for
-// everything else all sources must be ready.
-func (m *Machine) ewReady(d *DynInst) bool {
-	if d.computedAtFetch && !d.isMem() {
-		return true
-	}
-	for _, s := range d.srcs {
-		if d.isMem() && !s.addr {
-			continue
-		}
-		at := s.prod.readyAt()
-		if at < 0 || at >= m.cycle {
-			return false
-		}
-	}
-	return true
-}
-
 // stageEW implements the out-of-order execute-write-back stage: one
 // instruction per cycle, oldest ready first. Register-register instructions
 // compute their results; memory instructions compute their access address;
-// stalled control instructions resolve and unblock fetch.
+// stalled control instructions resolve and unblock fetch. An instruction is
+// ready when its (cached) wake cycle has passed: for memory instructions
+// only the address-forming sources gate the stage; for everything else all
+// sources do.
 func (m *Machine) stageEW(c *Core) {
 	best := -1
 	for i, d := range c.iq {
-		if d.tRR == 0 || d.tRR >= m.cycle {
-			continue
-		}
-		if !m.ewReady(d) {
+		if m.ewWake(d) > m.cycle {
 			continue
 		}
 		if best < 0 || older(d, c.iq[best]) {
@@ -350,12 +343,12 @@ func (m *Machine) stageEW(c *Core) {
 		d.addr = d.effectiveAddr()
 		// The register half of push/pop, if not computed at fetch.
 		if d.In.Op == isa.PUSH {
-			if _, ok := d.regOut[isa.RSP]; !ok {
+			if d.regAt[isa.RSP] == 0 {
 				d.setReg(isa.RSP, d.srcValue(isa.RSP)-8, m.cycle)
 			}
 		}
 		if d.In.Op == isa.POP {
-			if _, ok := d.regOut[isa.RSP]; !ok {
+			if d.regAt[isa.RSP] == 0 {
 				d.setReg(isa.RSP, d.srcValue(isa.RSP)+8, m.cycle)
 			}
 		}
@@ -389,29 +382,22 @@ func (m *Machine) stageEW(c *Core) {
 
 // ------------------------------------------------------- address rename ----
 
-// stageAR implements the in-order address-rename stage: one memory
-// instruction per cycle per core, in section order within each section
-// (oldest section first across sections). Loads that miss in the MAAT send
-// a memory renaming request backwards along the section order, applying the
-// call-level shortcut for rsp-positive addresses (§4.2, "Memory renaming").
-func (m *Machine) stageAR(c *Core) {
-	var sec *Section
-	var d *DynInst
-	for _, s := range m.order {
-		if s.Core != c.id || s.dumped || len(s.arQ) == 0 {
-			continue
-		}
-		h := s.arQ[0]
-		if h.tEW == 0 || h.tEW >= m.cycle {
-			continue
-		}
-		if sec == nil || s.Pos < sec.Pos {
-			sec, d = s, h
-		}
+// arHead returns the section's address-rename head if it may pass the stage
+// this cycle (its execute-write-back, which computes the address, is
+// strictly older), or nil.
+func (m *Machine) arHead(s *Section) *DynInst {
+	if len(s.arQ) == 0 {
+		return nil
 	}
-	if d == nil {
-		return
+	h := s.arQ[0]
+	if h.tEW == 0 || h.tEW >= m.cycle {
+		return nil
 	}
+	return h
+}
+
+// arApply renames the address of sec's AR head d on its hosting core.
+func (m *Machine) arApply(c *Core, sec *Section, d *DynInst) {
 	sec.arQ = sec.arQ[1:]
 
 	if _, reads := d.In.MemRead(); reads {
@@ -433,36 +419,43 @@ func (m *Machine) stageAR(c *Core) {
 	c.lsq = append(c.lsq, d)
 }
 
-// -------------------------------------------------------- memory access ----
-
-// maReady reports whether d can pass the memory-access stage: its loaded
-// value (if any) and its non-address sources must be ready.
-func (m *Machine) maReady(d *DynInst) bool {
-	if d.memSrc != nil {
-		at := d.memSrc.readyAt()
-		if at < 0 || at >= m.cycle {
-			return false
+// stageAR implements the in-order address-rename stage: one memory
+// instruction per cycle per core, in section order within each section
+// (oldest section first across sections). Loads that miss in the MAAT send
+// a memory renaming request backwards along the section order, applying the
+// call-level shortcut for rsp-positive addresses (§4.2, "Memory renaming").
+func (m *Machine) stageAR(c *Core) {
+	var sec *Section
+	var d *DynInst
+	for _, s := range m.order {
+		if s.Core != c.id || s.dumped {
+			continue
+		}
+		h := m.arHead(s)
+		if h == nil {
+			continue
+		}
+		if sec == nil || s.Pos < sec.Pos {
+			sec, d = s, h
 		}
 	}
-	for _, s := range d.srcs {
-		at := s.prod.readyAt()
-		if at < 0 || at >= m.cycle {
-			return false
-		}
+	if d == nil {
+		return
 	}
-	return true
+	m.arApply(c, sec, d)
 }
+
+// -------------------------------------------------------- memory access ----
 
 // stageMA implements the memory-access stage: one renamed memory instruction
 // per cycle, oldest ready first. Loads deliver their value to the register
-// results; stores make their value available to consumers.
+// results; stores make their value available to consumers. An instruction is
+// ready when its (cached) wake cycle has passed: its loaded value (if any)
+// and its non-address sources must be ready.
 func (m *Machine) stageMA(c *Core) {
 	best := -1
 	for i, d := range c.lsq {
-		if d.tAR == 0 || d.tAR >= m.cycle {
-			continue
-		}
-		if !m.maReady(d) {
+		if m.maWake(d) > m.cycle {
 			continue
 		}
 		if best < 0 || older(d, c.lsq[best]) {
@@ -488,6 +481,35 @@ func (m *Machine) stageMA(c *Core) {
 
 // --------------------------------------------------------------- retire ----
 
+// retireHead returns the section's in-order retirement head if it may retire
+// this cycle (its completing event is strictly older), or nil.
+func (m *Machine) retireHead(s *Section) *DynInst {
+	if s.retired >= len(s.Insts) {
+		return nil
+	}
+	h := s.Insts[s.retired]
+	if !h.done() || h.tRET != 0 {
+		return nil
+	}
+	// A stage boundary: the completing event must be strictly older than
+	// this cycle.
+	if h.isMem() {
+		if h.tMA >= m.cycle {
+			return nil
+		}
+	} else if h.tEW >= m.cycle {
+		return nil
+	}
+	return h
+}
+
+// retireApply retires sec's head d.
+func (m *Machine) retireApply(sec *Section, d *DynInst) {
+	d.tRET = m.cycle
+	sec.retired++
+	m.progress++
+}
+
 // stageRetire implements the in-order (per section) retirement stage: one
 // instruction per cycle per core, oldest hosted section first. Retirement is
 // parallel across cores/sections (§4.2, "Parallelizing retirement"); the
@@ -496,20 +518,11 @@ func (m *Machine) stageRetire(c *Core) {
 	var sec *Section
 	var d *DynInst
 	for _, s := range m.order {
-		if s.Core != c.id || s.dumped || s.retired >= len(s.Insts) {
+		if s.Core != c.id || s.dumped {
 			continue
 		}
-		h := s.Insts[s.retired]
-		if !h.done() || h.tRET != 0 {
-			continue
-		}
-		// A stage boundary: the completing event must be strictly older
-		// than this cycle.
-		if h.isMem() {
-			if h.tMA >= m.cycle {
-				continue
-			}
-		} else if h.tEW >= m.cycle {
+		h := m.retireHead(s)
+		if h == nil {
 			continue
 		}
 		if sec == nil || s.Pos < sec.Pos {
@@ -519,7 +532,5 @@ func (m *Machine) stageRetire(c *Core) {
 	if d == nil {
 		return
 	}
-	d.tRET = m.cycle
-	sec.retired++
-	m.progress++
+	m.retireApply(sec, d)
 }

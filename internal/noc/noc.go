@@ -177,6 +177,20 @@ func (q *Queue) Deliver(now int64) []Message {
 // Len returns the number of undelivered messages.
 func (q *Queue) Len() int { return q.h.Len() }
 
+// NextDeliverAt returns the earliest delivery time among the undelivered
+// messages, and whether any message is in flight. It lets an idle-skip
+// scheduler built on Queue jump its clock straight to the next network
+// event instead of polling every cycle. (The machine simulator tracks its
+// in-flight messages in per-core FIFOs and request records rather than a
+// Queue, so its nextWake reads those directly; this is the standalone-queue
+// counterpart.)
+func (q *Queue) NextDeliverAt() (int64, bool) {
+	if q.h.Len() == 0 {
+		return 0, false
+	}
+	return q.h[0].DeliverAt, true
+}
+
 type msgHeap []Message
 
 func (h msgHeap) Len() int { return len(h) }

@@ -134,3 +134,25 @@ func TestQueueOrdering(t *testing.T) {
 		t.Errorf("queue not drained: %d", q.Len())
 	}
 }
+
+// TestQueueNextDeliverAt: the earliest-delivery peek used by idle-skip
+// schedulers tracks the head of the heap and reports emptiness.
+func TestQueueNextDeliverAt(t *testing.T) {
+	q := NewQueue()
+	if _, ok := q.NextDeliverAt(); ok {
+		t.Error("empty queue reports an in-flight message")
+	}
+	q.SendAt(0, 1, 7, "late")
+	q.SendAt(0, 2, 3, "early")
+	if at, ok := q.NextDeliverAt(); !ok || at != 3 {
+		t.Errorf("NextDeliverAt = %d,%v, want 3,true", at, ok)
+	}
+	q.Deliver(3)
+	if at, ok := q.NextDeliverAt(); !ok || at != 7 {
+		t.Errorf("after draining t=3: NextDeliverAt = %d,%v, want 7,true", at, ok)
+	}
+	q.Deliver(7)
+	if _, ok := q.NextDeliverAt(); ok {
+		t.Error("drained queue still reports an in-flight message")
+	}
+}

@@ -245,8 +245,13 @@ func (k *Kernel) Run(n int, seed uint64, traced bool) (*RunResult, error) {
 // that both agree on the final rax and the full data segment, and that the
 // result matches the Go reference checksum. It returns the machine result.
 func (k *Kernel) CrossValidate(n int, seed uint64, cores int) (*backend.Result, error) {
+	return k.CrossValidateOn(backend.NewMachine(cores), n, seed)
+}
+
+// CrossValidateOn is CrossValidate with a caller-configured machine backend
+// (scheduler, topology, placement knobs).
+func (k *Kernel) CrossValidateOn(mb *backend.Machine, n int, seed uint64) (*backend.Result, error) {
 	n = k.ClampN(n)
-	mb := backend.NewMachine(cores)
 	prog, err := k.Build(n, mb.Mode())
 	if err != nil {
 		return nil, fmt.Errorf("pbbs: %s (n=%d): %w", k.Name, n, err)

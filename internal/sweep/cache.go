@@ -14,8 +14,10 @@ import (
 )
 
 // cacheVersion invalidates every cached point when the metrics schema or the
-// key derivation changes.
-const cacheVersion = "sweep-v1"
+// key derivation changes. v2: input arrays are length-framed with
+// fixed-width words, and the symbol count frames the input section — see
+// cacheKey.
+const cacheVersion = "sweep-v2"
 
 // cacheKey derives the content hash of a sweep point: the encoded compiled
 // program (covering the kernel source and the compiler), the generated input
@@ -23,6 +25,14 @@ const cacheVersion = "sweep-v1"
 // guaranteed identical simulations, so a change to a kernel, the compiler,
 // the workload generator or the configuration re-measures exactly the points
 // it touches.
+//
+// Every variable-length field is framed by its length so the encoding is
+// injective: symbol names via put, each input array by its element count
+// with fixed-width (16-hex-digit) words, and the input section by its symbol
+// count. The v1 encoding wrote arrays as bare variable-width words with no
+// length frame, leaving empty arrays contributing nothing and word
+// boundaries resting on the "%x," formatting alone; TestCacheKeyFraming pins
+// the near-miss input pairs that must hash apart.
 func cacheKey(prog *isa.Program, in backend.Inputs, p Point) string {
 	h := sha256.New()
 	put := func(s string) {
@@ -35,11 +45,14 @@ func cacheKey(prog *isa.Program, in backend.Inputs, p Point) string {
 		syms = append(syms, sym)
 	}
 	sort.Strings(syms)
+	fmt.Fprintf(h, "syms=%d;", len(syms))
 	for _, sym := range syms {
 		put(sym)
+		fmt.Fprintf(h, "%d:", len(in[sym]))
 		for _, w := range in[sym] {
-			fmt.Fprintf(h, "%x,", w)
+			fmt.Fprintf(h, "%016x,", w)
 		}
+		fmt.Fprintf(h, ";")
 	}
 	fmt.Fprintf(h, "cores=%d;topo=%s;shortcut=%v;cap=%d;seed=%d;",
 		p.Cores, p.Topology, p.Shortcut, p.MaxSections, p.Seed)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/backend"
 	"repro/internal/machine"
@@ -36,6 +37,10 @@ type Engine struct {
 	Cache *Cache
 	// Workers bounds concurrent measurements; <= 0 uses GOMAXPROCS.
 	Workers int
+	// Dense selects the machine's reference dense scheduler instead of the
+	// default idle-skip one. Simulation outcomes are identical either way
+	// (only SimNs/NsPerCycle differ), so the cache key is unaffected.
+	Dense bool
 
 	mu    sync.Mutex
 	stats Stats
@@ -145,8 +150,11 @@ func (e *Engine) measure(p Point) Record {
 		CreateLatency:      2,
 		Shortcut:           p.Shortcut,
 		MaxSectionsPerCore: p.MaxSections,
+		Dense:              e.Dense,
 	}}
+	start := time.Now()
 	res, err := mb.Run(prog, in, false)
+	simNs := time.Since(start).Nanoseconds()
 	if err != nil {
 		return fail(err)
 	}
@@ -171,6 +179,8 @@ func (e *Engine) measure(p Point) Record {
 		DMHAnswers:       mr.DMHAnswers,
 		NocMessages:      mr.NocMessages(),
 		Checksum:         mr.RAX,
+		SimNs:            simNs,
+		NsPerCycle:       float64(simNs) / float64(mr.Cycles),
 	}
 	// The cache is best-effort: a failed store just means the point is
 	// re-simulated next time.

@@ -216,6 +216,22 @@ type Metrics struct {
 	DMHAnswers       int64   `json:"dmhAnswers"`
 	NocMessages      int64   `json:"nocMessages"`
 	Checksum         uint64  `json:"checksum"`
+	// SimNs is the wall-clock nanoseconds the machine simulation took when
+	// this point was measured (cache hits keep the time of the original
+	// measurement, so cached re-runs stay byte-identical).
+	SimNs int64 `json:"simNs"`
+	// NsPerCycle is SimNs per simulated cycle — the simulator-performance
+	// figure `repro bench-sim` tracks.
+	NsPerCycle float64 `json:"nsPerCycle"`
+}
+
+// StripTiming returns a copy of m with the wall-clock fields zeroed, for
+// comparing metrics across runs: the simulation outcome is deterministic,
+// the host timing is not.
+func (m Metrics) StripTiming() Metrics {
+	m.SimNs = 0
+	m.NsPerCycle = 0
+	return m
 }
 
 // Record is one emitted sweep row: the point, its metrics, the content hash
@@ -227,12 +243,14 @@ type Record struct {
 	Err string `json:"error,omitempty"`
 }
 
-// Table renders records as an aligned report, one row per point.
+// Table renders records as an aligned report, one row per point. ns/cyc is
+// host wall time per simulated cycle (from the original measurement for
+// cached points).
 func Table(recs []Record) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-3s %-28s %6s %6s %-9s %-3s %4s %10s %10s %7s %5s %9s %8s\n",
+	fmt.Fprintf(&b, "%-3s %-28s %6s %6s %-9s %-3s %4s %10s %10s %7s %5s %9s %7s %8s\n",
 		"#", "benchmark", "n", "cores", "topology", "sc", "cap",
-		"instr", "cycles", "IPC", "secs", "noc-msgs", "status")
+		"instr", "cycles", "IPC", "secs", "noc-msgs", "ns/cyc", "status")
 	for _, r := range recs {
 		name := r.Name
 		if i := strings.IndexByte(name, '/'); i >= 0 {
@@ -246,9 +264,10 @@ func Table(recs []Record) string {
 		if r.Err != "" {
 			status = "FAIL: " + r.Err
 		}
-		fmt.Fprintf(&b, "%-3d %-28s %6d %6d %-9s %-3s %4d %10d %10d %7.2f %5d %9d %8s\n",
+		fmt.Fprintf(&b, "%-3d %-28s %6d %6d %-9s %-3s %4d %10d %10d %7.2f %5d %9d %7.0f %8s\n",
 			r.Kernel, name, r.N, r.Cores, r.Topology, sc, r.MaxSections,
-			r.Instructions, r.Cycles, r.IPC, r.Sections, r.Metrics.NocMessages, status)
+			r.Instructions, r.Cycles, r.IPC, r.Sections, r.Metrics.NocMessages,
+			r.NsPerCycle, status)
 	}
 	return b.String()
 }
