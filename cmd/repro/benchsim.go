@@ -15,7 +15,7 @@ import (
 // report to BENCH_machine.json — the performance trajectory future changes
 // to the hot loop are diffed against.
 func cmdBenchSim(args []string) error {
-	fs := flag.NewFlagSet("bench-sim", flag.ExitOnError)
+	fs := flag.NewFlagSet("bench-sim", flag.ContinueOnError)
 	kernels := fs.String("kernels", "", "kernel selectors (default: the standard trajectory trio)")
 	n := fs.Int("n", 0, "dataset size (0 = grid default)")
 	cores := fs.String("cores", "", "comma-separated core counts (default: grid default)")
@@ -24,7 +24,9 @@ func cmdBenchSim(args []string) error {
 	out := fs.String("o", "BENCH_machine.json", "report output path (empty: print table only)")
 	quick := fs.Bool("quick", false, "seconds-scale grid for CI smoke runs")
 	verify := fs.String("verify", "", "load and print an existing report instead of measuring")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 
 	if *verify != "" {
 		rep, err := bench.Load(*verify)

@@ -17,9 +17,13 @@
 //	repro bench-sim — time the simulator itself: dense vs idle-skip
 //	                 scheduler over a kernel × cores grid, cross-checked for
 //	                 identical results, written to BENCH_machine.json
+//	repro serve    — simulation as a service: a long-running HTTP job server
+//	                 over the sweep engine and cache (submit sweeps and runs,
+//	                 poll status, stream JSONL results, browse catalogs)
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +35,13 @@ import (
 	"repro/internal/pbbs"
 )
 
+// errUsage marks a bad invocation (unknown command, malformed flags): usage
+// has already been printed and the process should exit 2. It is a sentinel
+// so that every exit flows through main's single exit path — subcommands and
+// usage never call os.Exit themselves, which would skip deferred cleanup
+// (flushing output files, graceful server shutdown) and be untestable.
+var errUsage = errors.New("usage error")
+
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: repro <command> [flags]
 
@@ -41,39 +52,76 @@ commands:
   analytic   print the Section 5 scaling table
   sweep      scaling laboratory: sweep cores × topology × shortcut × cap
   bench-sim  benchmark the simulator: dense vs idle-skip scheduler
+  serve      HTTP job server over the sweep engine and result cache
 
 run "repro <command> -h" for the flags of each command.
 `)
-	os.Exit(2)
+}
+
+// parseFlags folds flag.FlagSet outcomes into the shared exit paths: nil on
+// success, flag.ErrHelp after -h/-help (exit 0; flag printed the defaults),
+// errUsage on a malformed flag (exit 2; flag printed the problem). Flag sets
+// must be created with flag.ContinueOnError so that this function, not the
+// flag package, decides how the process exits.
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	switch err := fs.Parse(args); {
+	case err == nil:
+		return nil
+	case errors.Is(err, flag.ErrHelp):
+		return flag.ErrHelp
+	default:
+		return errUsage
+	}
+}
+
+// exitCode maps run's error to the process exit status: 0 on success and
+// after help, 2 for usage errors, 1 for runtime failures (which it prints).
+func exitCode(err error) int {
+	switch {
+	case err == nil, errors.Is(err, flag.ErrHelp):
+		return 0
+	case errors.Is(err, errUsage):
+		return 2
+	default:
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		return 1
+	}
 }
 
 func main() {
-	if len(os.Args) < 2 {
+	os.Exit(exitCode(run(os.Args[1:])))
+}
+
+// run dispatches the subcommand and returns rather than exits, so the whole
+// CLI surface — including the unknown-command path — is testable and
+// deferred cleanup always runs.
+func run(args []string) error {
+	if len(args) < 1 {
 		usage()
+		return errUsage
 	}
-	var err error
-	switch os.Args[1] {
+	switch cmd := args[0]; cmd {
 	case "bench":
-		err = cmdBench(os.Args[2:])
+		return cmdBench(args[1:])
 	case "ilp":
-		err = cmdILP(os.Args[2:])
+		return cmdILP(args[1:])
 	case "machine":
-		err = cmdMachine(os.Args[2:])
+		return cmdMachine(args[1:])
 	case "analytic":
-		err = cmdAnalytic(os.Args[2:])
+		return cmdAnalytic(args[1:])
 	case "sweep":
-		err = cmdSweep(os.Args[2:])
+		return cmdSweep(args[1:])
 	case "bench-sim":
-		err = cmdBenchSim(os.Args[2:])
+		return cmdBenchSim(args[1:])
+	case "serve":
+		return cmdServe(args[1:])
 	case "-h", "--help", "help":
 		usage()
+		return nil
 	default:
-		fmt.Fprintf(os.Stderr, "repro: unknown command %q\n", os.Args[1])
+		fmt.Fprintf(os.Stderr, "repro: unknown command %q\n", cmd)
 		usage()
-	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
-		os.Exit(1)
+		return errUsage
 	}
 }
 
@@ -103,11 +151,13 @@ func parseSizes(s string) ([]int, error) {
 }
 
 func cmdBench(args []string) error {
-	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	n := fs.Int("n", 64, "dataset size")
 	seed := fs.Uint64("seed", 1, "workload seed")
 	kid := fs.Int("kernel", 0, "benchmark number (0 = all)")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	ks, err := selectKernels(*kid)
 	if err != nil {
 		return err
@@ -125,12 +175,14 @@ func cmdBench(args []string) error {
 }
 
 func cmdILP(args []string) error {
-	fs := flag.NewFlagSet("ilp", flag.ExitOnError)
+	fs := flag.NewFlagSet("ilp", flag.ContinueOnError)
 	sizes := fs.String("sizes", "32,64,128", "comma-separated dataset sizes")
 	seed := fs.Uint64("seed", 1, "workload seed")
 	workers := fs.Int("workers", 0, "measurement workers (0 = GOMAXPROCS)")
 	kid := fs.Int("kernel", 0, "benchmark number (0 = all)")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	ns, err := parseSizes(*sizes)
 	if err != nil {
 		return err
@@ -148,13 +200,15 @@ func cmdILP(args []string) error {
 }
 
 func cmdMachine(args []string) error {
-	fs := flag.NewFlagSet("machine", flag.ExitOnError)
+	fs := flag.NewFlagSet("machine", flag.ContinueOnError)
 	n := fs.Int("n", 12, "dataset size (kept small: cycle-level simulation)")
 	seed := fs.Uint64("seed", 1, "workload seed")
 	cores := fs.Int("cores", 8, "simulated cores")
 	kid := fs.Int("kernel", 0, "benchmark number (0 = all)")
 	dense := fs.Bool("dense", false, "use the reference dense scheduler instead of idle-skip")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	ks, err := selectKernels(*kid)
 	if err != nil {
 		return err
@@ -184,9 +238,11 @@ func cmdMachine(args []string) error {
 }
 
 func cmdAnalytic(args []string) error {
-	fs := flag.NewFlagSet("analytic", flag.ExitOnError)
+	fs := flag.NewFlagSet("analytic", flag.ContinueOnError)
 	maxN := fs.Int("maxn", 8, "largest doubling step")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	fmt.Println("Section 5 — closed-form scaling of the fork sum over 5·2ⁿ elements")
 	fmt.Printf("%3s %10s %14s %11s %12s %10s %11s %10s\n",
 		"n", "elements", "instructions", "fetch(cyc)", "retire(cyc)", "fetchIPC", "retireIPC", "sections")

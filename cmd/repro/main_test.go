@@ -1,6 +1,8 @@
 package main
 
 import (
+	"errors"
+	"flag"
 	"io"
 	"os"
 	"path/filepath"
@@ -80,6 +82,115 @@ func capture(t *testing.T, f func() error) (string, error) {
 	w.Close()
 	os.Stdout = old
 	return <-done, ferr
+}
+
+// captureStderr runs f with stderr redirected and returns what it printed.
+func captureStderr(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		r.Close()
+		done <- string(data)
+	}()
+	ferr := f()
+	w.Close()
+	os.Stderr = old
+	return <-done, ferr
+}
+
+// The exit-path tests pin the shared error return: no subcommand or usage
+// path calls os.Exit itself, so run() is testable end to end and deferred
+// cleanup always executes.
+
+func TestRunUnknownCommand(t *testing.T) {
+	out, err := captureStderr(t, func() error { return run([]string{"frobnicate"}) })
+	if !errors.Is(err, errUsage) {
+		t.Fatalf("run(frobnicate) = %v, want errUsage", err)
+	}
+	if !strings.Contains(out, `unknown command "frobnicate"`) || !strings.Contains(out, "usage: repro") {
+		t.Errorf("unknown-command stderr:\n%s", out)
+	}
+}
+
+func TestRunNoArgs(t *testing.T) {
+	out, err := captureStderr(t, func() error { return run(nil) })
+	if !errors.Is(err, errUsage) {
+		t.Fatalf("run() = %v, want errUsage", err)
+	}
+	if !strings.Contains(out, "usage: repro") {
+		t.Errorf("no-args stderr:\n%s", out)
+	}
+}
+
+func TestRunHelp(t *testing.T) {
+	for _, arg := range []string{"help", "-h", "--help"} {
+		out, err := captureStderr(t, func() error { return run([]string{arg}) })
+		if err != nil {
+			t.Errorf("run(%s) = %v, want nil", arg, err)
+		}
+		if !strings.Contains(out, "usage: repro") {
+			t.Errorf("%s stderr:\n%s", arg, out)
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	_, err := captureStderr(t, func() error { return run([]string{"analytic", "-bogus"}) })
+	if !errors.Is(err, errUsage) {
+		t.Fatalf("run(analytic -bogus) = %v, want errUsage", err)
+	}
+}
+
+func TestRunHelpFlag(t *testing.T) {
+	_, err := captureStderr(t, func() error { return run([]string{"analytic", "-h"}) })
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("run(analytic -h) = %v, want flag.ErrHelp", err)
+	}
+}
+
+func TestRunDispatches(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"analytic", "-maxn", "2"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Section 5") {
+		t.Errorf("run(analytic) output:\n%s", out)
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, 0},
+		{flag.ErrHelp, 0},
+		{errUsage, 2},
+		{errors.New("boom"), 1},
+	}
+	for _, c := range cases {
+		code := 0
+		out, _ := captureStderr(t, func() error { code = exitCode(c.err); return nil })
+		if code != c.want {
+			t.Errorf("exitCode(%v) = %d, want %d", c.err, code, c.want)
+		}
+		if c.want == 1 && !strings.Contains(out, "repro: boom") {
+			t.Errorf("runtime failure not reported on stderr: %q", out)
+		}
+	}
+}
+
+func TestCmdServeBadAddr(t *testing.T) {
+	if err := cmdServe([]string{"-addr", "256.256.256.256:0", "-cache", ""}); err == nil {
+		t.Error("serve accepted an unusable listen address")
+	}
 }
 
 // The subcommand smoke tests exercise flag parsing and dispatch end to end

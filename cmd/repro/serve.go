@@ -1,0 +1,79 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/sweep"
+)
+
+// cmdServe runs the long-lived job server: sweeps and machine runs submitted
+// over HTTP execute on the shared engine and content-keyed cache, so the
+// service and the one-shot CLI produce identical results from the same
+// cache directory. It serves until SIGINT/SIGTERM, then shuts down
+// gracefully: the listener stops, in-flight requests and running jobs get
+// the -grace budget to finish.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8321", "listen address")
+	cacheDir := fs.String("cache", ".sweep-cache", "result cache directory shared with 'repro sweep' (empty disables caching)")
+	workers := fs.Int("workers", 0, "measurement workers per job (0 = GOMAXPROCS)")
+	jobs := fs.Int("jobs", 2, "jobs executing concurrently; further submissions queue")
+	history := fs.Int("history", 256, "finished jobs kept before the oldest are evicted")
+	grace := fs.Duration("grace", 10*time.Second, "graceful-shutdown budget for in-flight requests and jobs")
+	dense := fs.Bool("dense", false, "use the reference dense scheduler instead of idle-skip")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+
+	eng := &sweep.Engine{Workers: *workers, Dense: *dense}
+	if *cacheDir != "" {
+		var err error
+		if eng.Cache, err = sweep.NewCache(*cacheDir); err != nil {
+			return err
+		}
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	srv := server.New(server.Config{
+		Engine: eng, Log: log,
+		MaxHistory: *history, MaxConcurrentJobs: *jobs,
+	})
+	hs := &http.Server{Handler: srv.Handler()}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	log.Info("serving", "addr", ln.Addr().String(), "cache", *cacheDir, "jobs", *jobs, "history", *history)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+	log.Info("shutting down", "grace", *grace)
+	sctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	if err := srv.Drain(sctx); err != nil {
+		return fmt.Errorf("serve: jobs still running after %s", *grace)
+	}
+	log.Info("stopped")
+	return nil
+}

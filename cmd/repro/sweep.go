@@ -29,7 +29,7 @@ func parseShortcutAxis(s string) ([]bool, error) {
 }
 
 func cmdSweep(args []string) error {
-	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	kernels := fs.String("kernels", "all", "kernel selectors: IDs or name substrings, comma-separated")
 	sizes := fs.String("sizes", "64", "comma-separated dataset sizes")
 	cores := fs.String("cores", "1,4,16", "comma-separated core counts")
@@ -43,7 +43,9 @@ func cmdSweep(args []string) error {
 	baseline := fs.String("baseline", "", "baseline sweep JSONL to diff against")
 	against := fs.String("against", "", "diff -baseline against this sweep file instead of running")
 	dense := fs.Bool("dense", false, "use the reference dense scheduler instead of idle-skip")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 
 	// Pure diff mode: two existing files, no simulation.
 	if *against != "" {

@@ -1,5 +1,9 @@
 // Package asm implements a two-pass assembler for the gas-style (AT&T)
-// assembly syntax used by the paper's listings, producing an isa.Program.
+// assembly syntax used by the paper's listings (the Fig. 2 call version and
+// the Fig. 5 fork version of the sum reduction), producing an isa.Program.
+// Its role is to let internal/progs carry those listings verbatim, so the
+// machine simulator is calibrated against exactly the code the paper
+// counts.
 //
 // Supported syntax (one statement per line; '#' and '//' start comments):
 //

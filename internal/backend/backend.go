@@ -11,8 +11,11 @@
 //     runs fork-mode programs only and reports cycles and per-stage timing in
 //     addition to the architectural result.
 //
-// The pipeline a backend implements is the paper's measurement path:
-// compile (caller) → inject inputs → run → optional trace capture → result.
+// The pipeline a backend implements is the paper's measurement path —
+// compile (caller) → inject inputs → run → optional trace capture → result
+// — behind both the Section 3 trace study (Fig. 7, via the emulator) and
+// the Section 4/5 machine evaluation; CrossValidate is the oracle check
+// that keeps the two substrates in agreement.
 package backend
 
 import (

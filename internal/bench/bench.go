@@ -1,5 +1,7 @@
 // Package bench times the cycle-level machine simulator itself — not the
-// simulated chip. It runs a fixed kernel × core-count grid under both
+// simulated chip. It reproduces no paper material: it is infrastructure
+// guarding the speed of the §4 model that every scaling study (Figs. 8–10)
+// runs on. It runs a fixed kernel × core-count grid under both
 // schedulers (the reference dense loop and the idle-skip scheduler), verifies
 // on every point that the two produce bit-identical simulation results, and
 // reports wall time and nanoseconds per simulated cycle for each.

@@ -209,3 +209,24 @@ func (h *msgHeap) Pop() any {
 	*h = old[:n-1]
 	return m
 }
+
+// Info is the catalog metadata of one supported topology: what a serving
+// layer or CLI needs to enumerate the §4.2 design space without
+// constructing networks.
+type Info struct {
+	// Name is the topology identifier constructors and sweep specs accept.
+	Name string `json:"name"`
+	// Description summarises the latency model.
+	Description string `json:"description"`
+}
+
+// Catalog lists the supported topologies in presentation order. It is the
+// single source of truth for topology names: internal/sweep derives its
+// axis vocabulary from it and the job server serves it at /v1/topologies.
+func Catalog() []Info {
+	return []Info{
+		{Name: "crossbar", Description: "ideal full crossbar: every pair of distinct cores is one hop apart (the paper's Fig. 10 calibration)"},
+		{Name: "ring", Description: "bidirectional ring: latency is the shorter arc distance times the hop cost"},
+		{Name: "mesh", Description: "2-D mesh with X-Y routing: latency is the Manhattan distance times the hop cost (cores factorised into the most square w×h grid)"},
+	}
+}

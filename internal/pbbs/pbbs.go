@@ -115,6 +115,29 @@ func Kernels() []*Kernel {
 	return ks
 }
 
+// Info is the exported catalog metadata of one kernel: what a serving layer
+// or UI needs to list the Table 1 suite without holding the Kernel itself.
+type Info struct {
+	// ID is the paper's benchmark number (1..10).
+	ID int `json:"id"`
+	// Name is the paper's "suite/implementation" label.
+	Name string `json:"name"`
+	// MinN is the smallest dataset size the kernel supports; requested
+	// sizes below it are clamped up to it.
+	MinN int `json:"minN"`
+}
+
+// Catalog returns the registered benchmarks' metadata in the paper's (ID)
+// order. The job server serves it at /v1/kernels.
+func Catalog() []Info {
+	ks := Kernels()
+	infos := make([]Info, len(ks))
+	for i, k := range ks {
+		infos[i] = Info{ID: k.ID, Name: k.Name, MinN: k.MinN}
+	}
+	return infos
+}
+
 // ByID returns the kernel with the paper's benchmark number.
 func ByID(id int) (*Kernel, error) {
 	if k, ok := registry[id]; ok {

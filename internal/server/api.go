@@ -1,0 +1,108 @@
+package server
+
+import (
+	"cmp"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/pbbs"
+	"repro/internal/sweep"
+)
+
+// KernelSel selects a kernel in a request body: a benchmark number (2 or
+// "2") or a case-insensitive name substring ("quicksort") — anything
+// pbbs.Find accepts. Both JSON numbers and JSON strings are accepted.
+type KernelSel string
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (k *KernelSel) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		*k = KernelSel(s)
+		return nil
+	}
+	var n json.Number
+	if err := json.Unmarshal(b, &n); err == nil {
+		*k = KernelSel(n.String())
+		return nil
+	}
+	return fmt.Errorf("kernel selector must be a number or a string, got %s", b)
+}
+
+// SweepRequest is the body of POST /v1/sweeps. Every axis is optional and
+// defaults exactly like `repro sweep`'s flags: all kernels, size 64, 1
+// core, crossbar, shortcut on, no placement cap, seed 1.
+type SweepRequest struct {
+	Kernels     []KernelSel `json:"kernels"`
+	Sizes       []int       `json:"sizes"`
+	Cores       []int       `json:"cores"`
+	Topologies  []string    `json:"topologies"`
+	Shortcut    []bool      `json:"shortcut"`
+	MaxSections []int       `json:"maxSections"`
+	Seed        uint64      `json:"seed"`
+}
+
+// Spec resolves the request into a validated, normalised sweep grid.
+func (r *SweepRequest) Spec() (*sweep.Spec, error) {
+	spec := &sweep.Spec{
+		Sizes: r.Sizes, Cores: r.Cores, Topologies: r.Topologies,
+		Shortcut: r.Shortcut, MaxSections: r.MaxSections, Seed: r.Seed,
+	}
+	for _, sel := range r.Kernels {
+		k, err := pbbs.Find(string(sel))
+		if err != nil {
+			return nil, err
+		}
+		spec.Kernels = append(spec.Kernels, k.ID)
+	}
+	if err := spec.Normalize(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// RunRequest is the body of POST /v1/runs: one machine point. Kernel is
+// required; the rest default to 64 elements on 1 crossbar core with the
+// call-level shortcut on, seed 1.
+type RunRequest struct {
+	Kernel      KernelSel `json:"kernel"`
+	N           int       `json:"n"`
+	Cores       int       `json:"cores"`
+	Topology    string    `json:"topology"`
+	Shortcut    *bool     `json:"shortcut"`
+	MaxSections int       `json:"maxSections"`
+	Seed        uint64    `json:"seed"`
+}
+
+// Point resolves the request into a validated sweep point (dataset sizes
+// below the kernel's minimum are clamped by the engine).
+func (r *RunRequest) Point() (sweep.Point, error) {
+	var p sweep.Point
+	if r.Kernel == "" {
+		return p, fmt.Errorf("kernel is required")
+	}
+	k, err := pbbs.Find(string(r.Kernel))
+	if err != nil {
+		return p, err
+	}
+	p.Kernel, p.Name = k.ID, k.Name
+	if r.N < 0 {
+		return p, fmt.Errorf("bad dataset size %d", r.N)
+	}
+	p.N = k.ClampN(cmp.Or(r.N, 64))
+	p.Cores = cmp.Or(r.Cores, 1)
+	if p.Cores < 1 {
+		return p, fmt.Errorf("bad core count %d", p.Cores)
+	}
+	p.Topology = cmp.Or(r.Topology, sweep.TopoCrossbar)
+	if _, err := sweep.MakeNet(p.Topology, p.Cores); err != nil {
+		return p, err
+	}
+	p.Shortcut = r.Shortcut == nil || *r.Shortcut
+	if r.MaxSections < 0 {
+		return p, fmt.Errorf("bad max-sections cap %d", r.MaxSections)
+	}
+	p.MaxSections = r.MaxSections
+	p.Seed = cmp.Or(r.Seed, 1)
+	return p, nil
+}

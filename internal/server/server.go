@@ -1,0 +1,233 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"repro/internal/noc"
+	"repro/internal/pbbs"
+	"repro/internal/sweep"
+)
+
+// Config configures New.
+type Config struct {
+	// Engine is the shared sweep engine (cache, worker pool, scheduler
+	// choice). Required.
+	Engine *sweep.Engine
+	// Log receives request and job-lifecycle records; slog.Default when nil.
+	Log *slog.Logger
+	// MaxHistory bounds the finished jobs kept before the oldest are
+	// evicted (default 256).
+	MaxHistory int
+	// MaxConcurrentJobs bounds the jobs executing at once; submissions
+	// beyond it queue in StateSubmitted (default 2).
+	MaxConcurrentJobs int
+}
+
+// Server routes the HTTP API over a job manager.
+type Server struct {
+	mgr *Manager
+	log *slog.Logger
+	mux *http.ServeMux
+}
+
+// New wires the routes. Serve the result of Handler.
+func New(cfg Config) *Server {
+	log := cfg.Log
+	if log == nil {
+		log = slog.Default()
+	}
+	s := &Server{
+		mgr: NewManager(cfg.Engine, log, cfg.MaxHistory, cfg.MaxConcurrentJobs),
+		log: log,
+		mux: http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/kernels", s.handleKernels)
+	s.mux.HandleFunc("GET /v1/topologies", s.handleTopologies)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus(KindSweep))
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleResults)
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus(KindRun))
+	return s
+}
+
+// Handler returns the routed handler wrapped in structured request logging.
+func (s *Server) Handler() http.Handler { return s.logged(s.mux) }
+
+// Drain waits for submitted jobs to finish, for graceful shutdown after the
+// HTTP listener has stopped.
+func (s *Server) Drain(ctx context.Context) error { return s.mgr.Drain(ctx) }
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.log.Warn("response write failed", "error", err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	s.writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// decode parses a JSON request body strictly: unknown fields are an error
+// (they are always a misspelled axis), bodies are capped at 1 MiB.
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"jobs":   s.mgr.Count(),
+		"engine": s.mgr.eng.Stats(),
+	})
+}
+
+func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"kernels": pbbs.Catalog()})
+}
+
+func (s *Server) handleTopologies(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"topologies": noc.Catalog()})
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"jobs": s.mgr.Jobs()})
+}
+
+func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	spec, err := req.Spec()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, err := s.mgr.SubmitSweep(spec)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := decode(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	p, err := req.Point()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusAccepted, s.mgr.SubmitRun(p).status())
+}
+
+// handleStatus serves GET /v1/sweeps/{id} and GET /v1/runs/{id}. A job is
+// only addressable under its own kind's collection.
+func (s *Server) handleStatus(kind Kind) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		j, ok := s.mgr.Get(id)
+		if !ok || j.Kind != kind {
+			s.writeError(w, http.StatusNotFound, "no %s job %q", kind, id)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, j.status())
+	}
+}
+
+// handleResults streams a sweep's records as JSONL in deterministic grid
+// order, flushing per record. If the job is still running the stream
+// follows it until completion, so a plain `curl` yields exactly the file
+// `repro sweep -o` would have written for the same grid over the same
+// cache.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.mgr.Get(id)
+	if !ok || j.Kind != KindSweep {
+		s.writeError(w, http.StatusNotFound, "no sweep job %q", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+	n := 0
+	for {
+		recs, finished, wake := j.watch(n)
+		for _, rec := range recs {
+			if err := enc.Encode(rec); err != nil {
+				return
+			}
+			n++
+		}
+		_ = rc.Flush()
+		if finished {
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// statusWriter captures the response code and size for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.code == 0 {
+		sw.code = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.code == 0 {
+		sw.code = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(b)
+	sw.bytes += n
+	return n, err
+}
+
+// Unwrap lets http.NewResponseController reach Flush on the wrapped writer.
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
+
+// logged is the structured request-logging middleware.
+func (s *Server) logged(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h.ServeHTTP(sw, r)
+		if sw.code == 0 {
+			sw.code = http.StatusOK
+		}
+		s.log.Info("request",
+			"method", r.Method, "path", r.URL.Path,
+			"status", sw.code, "bytes", sw.bytes,
+			"dur", time.Since(start).Round(time.Microsecond))
+	})
+}

@@ -1,0 +1,466 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/pbbs"
+	"repro/internal/sweep"
+)
+
+func quietLog() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// newTestServer serves the API over the given engine with a generous job
+// concurrency so tests can overlap submissions.
+func newTestServer(t *testing.T, eng *sweep.Engine) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(Config{Engine: eng, Log: quietLog(), MaxConcurrentJobs: 16}).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// getJSON fetches path and decodes the response into v, returning the
+// status code.
+func getJSON(t *testing.T, ts *httptest.Server, path string, v any) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// postJSON posts body to path and decodes the response into v, returning
+// the status code.
+func postJSON(t *testing.T, ts *httptest.Server, path, body string, v any) int {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// waitDone polls the job's status endpoint until it reaches a terminal
+// state.
+func waitDone(t *testing.T, ts *httptest.Server, path string) Status {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var st Status
+		if code := getJSON(t, ts, path, &st); code != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, code)
+		}
+		if st.State == StateDone || st.State == StateFailed {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after 30s", path, st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestCatalogEndpoints(t *testing.T) {
+	ts := newTestServer(t, &sweep.Engine{})
+
+	var ks struct{ Kernels []pbbs.Info }
+	if code := getJSON(t, ts, "/v1/kernels", &ks); code != http.StatusOK {
+		t.Fatalf("GET /v1/kernels = %d", code)
+	}
+	if len(ks.Kernels) != len(pbbs.Kernels()) {
+		t.Errorf("kernels catalog has %d entries, want %d", len(ks.Kernels), len(pbbs.Kernels()))
+	}
+	found := false
+	for _, k := range ks.Kernels {
+		if strings.Contains(k.Name, "quickSort") {
+			found = true
+		}
+		if k.ID <= 0 || k.MinN <= 0 {
+			t.Errorf("catalog entry missing metadata: %+v", k)
+		}
+	}
+	if !found {
+		t.Errorf("kernels catalog lacks quickSort: %+v", ks.Kernels)
+	}
+
+	var topos struct {
+		Topologies []struct{ Name, Description string }
+	}
+	if code := getJSON(t, ts, "/v1/topologies", &topos); code != http.StatusOK {
+		t.Fatalf("GET /v1/topologies = %d", code)
+	}
+	if len(topos.Topologies) != len(sweep.Topologies) {
+		t.Errorf("topology catalog has %d entries, want %d", len(topos.Topologies), len(sweep.Topologies))
+	}
+	for _, tp := range topos.Topologies {
+		if tp.Name == "" || tp.Description == "" {
+			t.Errorf("topology entry missing metadata: %+v", tp)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t, &sweep.Engine{})
+	var h struct{ Status string }
+	if code := getJSON(t, ts, "/healthz", &h); code != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("GET /healthz = %d %+v", code, h)
+	}
+}
+
+func TestSweepJobLifecycle(t *testing.T) {
+	ts := newTestServer(t, &sweep.Engine{Workers: 4})
+
+	var st Status
+	code := postJSON(t, ts, "/v1/sweeps", `{"kernels":["10"],"sizes":[8],"cores":[1,2]}`, &st)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /v1/sweeps = %d", code)
+	}
+	if st.ID == "" || st.Kind != KindSweep || st.Points != 2 || st.Results == "" {
+		t.Fatalf("submission status = %+v", st)
+	}
+
+	final := waitDone(t, ts, "/v1/sweeps/"+st.ID)
+	if final.State != StateDone || final.Done != 2 || final.Started == nil || final.Finished == nil {
+		t.Fatalf("final status = %+v", final)
+	}
+
+	resp, err := http.Get(ts.URL + final.Results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("results Content-Type = %q", ct)
+	}
+	recs, err := sweep.ReadJSONL(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Cores != 1 || recs[1].Cores != 2 {
+		t.Fatalf("results = %+v, want the 2 grid points in order", recs)
+	}
+
+	var jobs struct{ Jobs []Status }
+	if code := getJSON(t, ts, "/v1/jobs", &jobs); code != http.StatusOK || len(jobs.Jobs) != 1 || jobs.Jobs[0].ID != st.ID {
+		t.Errorf("GET /v1/jobs = %d %+v", code, jobs)
+	}
+}
+
+func TestRunJobLifecycle(t *testing.T) {
+	ts := newTestServer(t, &sweep.Engine{})
+
+	var st Status
+	code := postJSON(t, ts, "/v1/runs", `{"kernel":10,"n":8,"cores":2}`, &st)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /v1/runs = %d", code)
+	}
+	if st.Kind != KindRun || st.Points != 1 {
+		t.Fatalf("submission status = %+v", st)
+	}
+	final := waitDone(t, ts, "/v1/runs/"+st.ID)
+	if final.State != StateDone || final.Record == nil {
+		t.Fatalf("final status = %+v", final)
+	}
+	if final.Record.Cycles == 0 || final.Record.Cores != 2 || final.Record.N != 8 {
+		t.Errorf("run record = %+v", final.Record)
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	ts := newTestServer(t, &sweep.Engine{})
+	for _, path := range []string{
+		"/v1/sweeps/nope",
+		"/v1/sweeps/nope/results",
+		"/v1/runs/nope",
+		"/v1/nonexistent",
+	} {
+		if code := getJSON(t, ts, path, nil); code != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", path, code)
+		}
+	}
+
+	// A run job is not addressable as a sweep (and vice versa).
+	var st Status
+	if code := postJSON(t, ts, "/v1/runs", `{"kernel":"10","n":8}`, &st); code != http.StatusAccepted {
+		t.Fatalf("POST /v1/runs = %d", code)
+	}
+	if code := getJSON(t, ts, "/v1/sweeps/"+st.ID, nil); code != http.StatusNotFound {
+		t.Errorf("GET /v1/sweeps/%s (a run job) = %d, want 404", st.ID, code)
+	}
+	waitDone(t, ts, "/v1/runs/"+st.ID)
+}
+
+func TestBadRequests(t *testing.T) {
+	ts := newTestServer(t, &sweep.Engine{})
+	cases := []struct{ path, body string }{
+		{"/v1/sweeps", `{`},                                // malformed JSON
+		{"/v1/sweeps", `{"kernals":[1]}`},                  // misspelled field
+		{"/v1/sweeps", `{"kernels":["zzz"]}`},              // unknown kernel
+		{"/v1/sweeps", `{"topologies":["torus"]}`},         // unknown topology
+		{"/v1/sweeps", `{"sizes":[0]}`},                    // invalid axis value
+		{"/v1/sweeps", `{"kernels":[true]}`},               // wrong selector type
+		{"/v1/runs", `{`},                                  // malformed JSON
+		{"/v1/runs", `{}`},                                 // missing kernel
+		{"/v1/runs", `{"kernel":"sort"}`},                  // ambiguous selector
+		{"/v1/runs", `{"kernel":"10","topology":"torus"}`}, // unknown topology
+		{"/v1/runs", `{"kernel":"10","cores":-1}`},         // bad core count
+		{"/v1/runs", `{"kernel":"10","maxSections":-1}`},   // bad cap
+	}
+	for _, c := range cases {
+		var e struct{ Error string }
+		if code := postJSON(t, ts, c.path, c.body, &e); code != http.StatusBadRequest || e.Error == "" {
+			t.Errorf("POST %s %s = %d (error %q), want 400 with a message", c.path, c.body, code, e.Error)
+		}
+	}
+	// Collection endpoints only accept their registered method.
+	if code := getJSON(t, ts, "/v1/sweeps", nil); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/sweeps = %d, want 405", code)
+	}
+	if code := postJSON(t, ts, "/v1/kernels", `{}`, nil); code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/kernels = %d, want 405", code)
+	}
+}
+
+// TestResultsMatchCLIByteForByte is the acceptance criterion: a sweep
+// submitted over HTTP streams JSONL byte-identical to the file the CLI path
+// (Engine.Run + JSONLWriter, what `repro sweep -o` does) writes for the
+// same grid over the same cache.
+func TestResultsMatchCLIByteForByte(t *testing.T) {
+	cache, err := sweep.NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &sweep.Engine{Cache: cache, Workers: 4}
+
+	spec := &sweep.Spec{Kernels: []int{2, 10}, Sizes: []int{8}, Cores: []int{1, 2}, Seed: 1}
+	var cli bytes.Buffer
+	jw := sweep.NewJSONLWriter(&cli)
+	if _, err := eng.Run(spec, func(r sweep.Record) {
+		if err := jw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := newTestServer(t, eng)
+	var st Status
+	if code := postJSON(t, ts, "/v1/sweeps", `{"kernels":[2,10],"sizes":[8],"cores":[1,2],"seed":1}`, &st); code != http.StatusAccepted {
+		t.Fatalf("POST /v1/sweeps = %d", code)
+	}
+	// The results stream follows the job to completion, so no status
+	// polling is needed before fetching.
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + st.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	httpBytes, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(httpBytes, cli.Bytes()) {
+		t.Errorf("HTTP results differ from CLI JSONL:\nHTTP:\n%s\nCLI:\n%s", httpBytes, cli.Bytes())
+	}
+}
+
+// TestConcurrentIdenticalSweepsSimulateOnce is the coalescing acceptance
+// criterion: K identical simultaneous submissions simulate each grid point
+// exactly once — in-flight duplicates coalesce on the engine's singleflight
+// and stragglers hit the cache — and every client receives identical bytes.
+func TestConcurrentIdenticalSweepsSimulateOnce(t *testing.T) {
+	cache, err := sweep.NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &sweep.Engine{Cache: cache, Workers: 4}
+	ts := newTestServer(t, eng)
+
+	const K = 6
+	const body = `{"kernels":["10"],"sizes":[8],"cores":[1,2]}`
+	ids := make([]string, K)
+	var wg sync.WaitGroup
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var st Status
+			if code := postJSON(t, ts, "/v1/sweeps", body, &st); code != http.StatusAccepted {
+				t.Errorf("POST %d = %d", i, code)
+				return
+			}
+			ids[i] = st.ID
+		}()
+	}
+	wg.Wait()
+
+	var results [][]byte
+	for _, id := range ids {
+		if id == "" {
+			t.Fatal("a submission failed")
+		}
+		st := waitDone(t, ts, "/v1/sweeps/"+id)
+		if st.State != StateDone {
+			t.Fatalf("job %s failed: %s", id, st.Error)
+		}
+		resp, err := http.Get(ts.URL + "/v1/sweeps/" + id + "/results")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, b)
+	}
+
+	if s := eng.Stats(); s.Simulated != 2 {
+		t.Errorf("stats = %+v, want exactly 2 simulations (one per grid point) for %d identical submissions", s, K)
+	}
+	for i := 1; i < K; i++ {
+		if !bytes.Equal(results[i], results[0]) {
+			t.Errorf("job %s results differ from job %s", ids[i], ids[0])
+		}
+	}
+}
+
+func TestResultsStreamWhileRunning(t *testing.T) {
+	// A single-job server: the second submission queues behind the first,
+	// and its results connection must open immediately and deliver once the
+	// job runs.
+	eng := &sweep.Engine{Workers: 2}
+	ts := httptest.NewServer(New(Config{Engine: eng, Log: quietLog(), MaxConcurrentJobs: 1}).Handler())
+	defer ts.Close()
+
+	var first, second Status
+	if code := postJSON(t, ts, "/v1/sweeps", `{"kernels":["10"],"sizes":[8,10],"cores":[1,2]}`, &first); code != http.StatusAccepted {
+		t.Fatalf("POST = %d", code)
+	}
+	if code := postJSON(t, ts, "/v1/sweeps", `{"kernels":["10"],"sizes":[8],"cores":[1]}`, &second); code != http.StatusAccepted {
+		t.Fatalf("POST = %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + second.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	recs, err := sweep.ReadJSONL(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Err != "" {
+		t.Fatalf("streamed results = %+v", recs)
+	}
+}
+
+func TestHistoryEviction(t *testing.T) {
+	m := NewManager(&sweep.Engine{}, quietLog(), 2, 1)
+	var jobs []*Job
+	// Submit sequentially, waiting each job out, so the eviction order
+	// (oldest finished first) is deterministic.
+	for i := 0; i < 3; i++ {
+		j := m.SubmitRun(sweep.Point{Kernel: 10, N: 8, Cores: 1, Topology: sweep.TopoCrossbar, Shortcut: true, Seed: 1})
+		jobs = append(jobs, j)
+		deadline := time.Now().Add(30 * time.Second)
+		for !j.terminal() {
+			if time.Now().After(deadline) {
+				t.Fatal("job did not finish")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if got := len(m.Jobs()); got != 2 {
+		t.Errorf("history holds %d jobs, want bound of 2", got)
+	}
+	if _, ok := m.Get(jobs[0].ID); ok {
+		t.Errorf("oldest finished job %s not evicted", jobs[0].ID)
+	}
+	if _, ok := m.Get(jobs[2].ID); !ok {
+		t.Errorf("newest job %s evicted", jobs[2].ID)
+	}
+}
+
+func TestKernelSelUnmarshal(t *testing.T) {
+	var req SweepRequest
+	if err := json.Unmarshal([]byte(`{"kernels":[2,"bfs"]}`), &req); err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Kernels) != 2 || req.Kernels[0] != "2" || req.Kernels[1] != "bfs" {
+		t.Errorf("kernels = %+v", req.Kernels)
+	}
+	spec, err := req.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Kernels) != 2 || spec.Kernels[0] != 2 {
+		t.Errorf("resolved kernels = %+v", spec.Kernels)
+	}
+}
+
+func TestRunRequestDefaults(t *testing.T) {
+	req := RunRequest{Kernel: "quicksort"}
+	p, err := req.Point()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sweep.Point{Kernel: 2, Name: p.Name, N: 64, Cores: 1, Topology: sweep.TopoCrossbar, Shortcut: true, Seed: 1}
+	if p != want {
+		t.Errorf("defaulted point = %+v, want %+v", p, want)
+	}
+	off := false
+	req = RunRequest{Kernel: "2", N: 8, Cores: 4, Topology: "mesh", Shortcut: &off, MaxSections: 3, Seed: 9}
+	if p, err = req.Point(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Shortcut || p.Topology != "mesh" || p.MaxSections != 3 || p.Seed != 9 {
+		t.Errorf("explicit point = %+v", p)
+	}
+}
+
+func TestDrain(t *testing.T) {
+	m := NewManager(&sweep.Engine{}, quietLog(), 8, 2)
+	for i := 0; i < 3; i++ {
+		m.SubmitRun(sweep.Point{Kernel: 10, N: 8, Cores: 1, Topology: sweep.TopoCrossbar, Shortcut: true, Seed: 1})
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	// Jobs that were executing when Drain fired run to completion; jobs
+	// still queued fail fast so the drain stays bounded. Either way every
+	// job must be terminal.
+	for _, st := range m.Jobs() {
+		switch {
+		case st.State == StateDone:
+		case st.State == StateFailed && strings.Contains(st.Error, "shutting down"):
+		default:
+			t.Errorf("job %s is %s (%q) after Drain", st.ID, st.State, st.Error)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package sweep
+
+import "sync"
+
+// flight is one in-progress measurement of a content key. The leader fills
+// in the outcome and closes done; followers block on done and copy it.
+type flight struct {
+	done    chan struct{}
+	metrics Metrics
+	errMsg  string
+}
+
+// flightGroup coalesces concurrent measurements of the same cache key
+// (singleflight): the first caller to join a key becomes the leader and
+// simulates; callers that join while the leader is in flight wait and share
+// the leader's outcome. Together with the persistent cache this gives the
+// job server its exactly-once property — the cache deduplicates across time,
+// the flight group deduplicates across concurrent requests, so N identical
+// simultaneous submissions simulate each point exactly once.
+//
+// Finished keys are removed, so a later caller consults the cache (which a
+// successful leader populated) instead of a stale flight; failures are not
+// cached, so a later caller retries them.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// join returns the flight for key and whether the caller is its leader. A
+// leader must eventually call finish exactly once.
+func (g *flightGroup) join(key string) (*flight, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.m[key]; ok {
+		return f, false
+	}
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	return f, true
+}
+
+// finish records the leader's outcome, retires the key and wakes the
+// followers.
+func (g *flightGroup) finish(key string, f *flight, m Metrics, errMsg string) {
+	f.metrics, f.errMsg = m, errMsg
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+}

@@ -19,6 +19,9 @@ type Stats struct {
 	Points int
 	// Hits is how many points were served from the cache.
 	Hits int
+	// Coalesced is how many points shared a concurrent in-flight measurement
+	// of the same content key instead of simulating (singleflight).
+	Coalesced int
 	// Simulated is how many points ran the machine simulator.
 	Simulated int
 	// Failures is how many points errored (build, divergence, timeout).
@@ -26,8 +29,8 @@ type Stats struct {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("%d points: %d cached, %d simulated, %d failed",
-		s.Points, s.Hits, s.Simulated, s.Failures)
+	return fmt.Sprintf("%d points: %d cached, %d coalesced, %d simulated, %d failed",
+		s.Points, s.Hits, s.Coalesced, s.Simulated, s.Failures)
 }
 
 // Engine measures sweep grids with a worker pool and an optional persistent
@@ -42,8 +45,9 @@ type Engine struct {
 	// (only SimNs/NsPerCycle differ), so the cache key is unaffected.
 	Dense bool
 
-	mu    sync.Mutex
-	stats Stats
+	mu      sync.Mutex
+	stats   Stats
+	flights flightGroup
 }
 
 // Stats returns the counters accumulated over every Run of this engine.
@@ -84,7 +88,7 @@ func (e *Engine) Run(spec *Spec, emit func(Record)) ([]Record, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				recs[i] = e.measure(pts[i])
+				recs[i] = e.Measure(pts[i])
 				close(ready[i])
 			}
 		}()
@@ -111,9 +115,16 @@ func (e *Engine) Run(spec *Spec, emit func(Record)) ([]Record, error) {
 	return recs, errors.Join(errs...)
 }
 
-// measure runs one point: resolve the kernel, derive the content key, serve
-// from the cache or compile + simulate + validate, and store the outcome.
-func (e *Engine) measure(p Point) Record {
+// Measure runs one point: resolve the kernel, derive the content key, serve
+// from the cache or compile + simulate + validate, and store the outcome. It
+// is the programmatic run-one-point API (the grid path Run and the job
+// server both build on it) and is safe for concurrent use: concurrent
+// measurements of the same content key are coalesced (singleflight), so N
+// identical in-flight submissions simulate a point exactly once and share
+// the outcome. A dataset size below the kernel's minimum is clamped and the
+// display name is normalised; the returned record carries the effective
+// point.
+func (e *Engine) Measure(p Point) Record {
 	rec := Record{Point: p}
 	e.count(func(s *Stats) { s.Points++ })
 
@@ -127,12 +138,29 @@ func (e *Engine) measure(p Point) Record {
 	if err != nil {
 		return fail(err)
 	}
+	p.N, p.Name = k.ClampN(p.N), k.Name
+	rec.Point = p
 	prog, err := k.Build(p.N, minic.ModeFork)
 	if err != nil {
 		return fail(err)
 	}
 	in := k.Gen(p.N, p.Seed)
 	rec.Key = cacheKey(prog, in, p)
+
+	f, leader := e.flights.join(rec.Key)
+	if !leader {
+		<-f.done
+		rec.Metrics, rec.Err = f.metrics, f.errMsg
+		e.count(func(s *Stats) {
+			if rec.Err != "" {
+				s.Failures++
+			} else {
+				s.Coalesced++
+			}
+		})
+		return rec
+	}
+	defer func() { e.flights.finish(rec.Key, f, rec.Metrics, rec.Err) }()
 
 	if m, ok := e.Cache.Get(rec.Key); ok {
 		rec.Metrics = *m

@@ -33,8 +33,17 @@ const (
 	TopoMesh     = "mesh"
 )
 
-// Topologies lists the supported NoC topology names.
-var Topologies = []string{TopoCrossbar, TopoRing, TopoMesh}
+// Topologies lists the supported NoC topology names, in catalog order.
+// internal/noc.Catalog is the single source of truth; the constants above
+// exist so grid code can name topologies without indexing the catalog.
+var Topologies = func() []string {
+	cat := noc.Catalog()
+	names := make([]string, len(cat))
+	for i, t := range cat {
+		names[i] = t.Name
+	}
+	return names
+}()
 
 // MakeNet builds the named topology over the given core count with unit hop
 // latency. Meshes use the most square w×h factorisation of cores.

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/backend"
@@ -229,6 +230,58 @@ func TestEngineWithoutCache(t *testing.T) {
 	}
 	if s := e.Stats(); s.Hits != 0 || s.Simulated != 1 {
 		t.Errorf("cacheless stats = %+v", s)
+	}
+}
+
+func TestMeasureClampsPoint(t *testing.T) {
+	k, err := pbbs.ByID(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{}
+	rec := e.Measure(Point{Kernel: 2, N: 1, Cores: 1, Topology: TopoCrossbar, Shortcut: true, Seed: 1})
+	if rec.Err != "" {
+		t.Fatalf("Measure failed: %s", rec.Err)
+	}
+	if rec.N != k.MinN || rec.Name != k.Name {
+		t.Errorf("Measure point = %+v, want clamped n=%d name=%q", rec.Point, k.MinN, k.Name)
+	}
+}
+
+// TestMeasureCoalescesConcurrentDuplicates pins the singleflight guarantee:
+// K identical concurrent measurements simulate exactly once. The cache
+// covers goroutines that start after the leader finished, the flight group
+// covers the ones in flight with it, so the "exactly one simulation" holds
+// under every interleaving.
+func TestMeasureCoalescesConcurrentDuplicates(t *testing.T) {
+	cache, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{Cache: cache}
+	p := Point{Kernel: 10, N: 8, Cores: 2, Topology: TopoCrossbar, Shortcut: true, Seed: 1}
+	const K = 8
+	recs := make([]Record, K)
+	var wg sync.WaitGroup
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			recs[i] = e.Measure(p)
+		}()
+	}
+	wg.Wait()
+	s := e.Stats()
+	if s.Simulated != 1 {
+		t.Errorf("stats = %+v, want exactly 1 simulation for %d identical submissions", s, K)
+	}
+	if s.Hits+s.Coalesced != K-1 || s.Failures != 0 {
+		t.Errorf("stats = %+v, want the other %d served by cache or coalescing", s, K-1)
+	}
+	for i := 1; i < K; i++ {
+		if !reflect.DeepEqual(recs[i], recs[0]) {
+			t.Errorf("record %d differs from record 0: %+v vs %+v", i, recs[i], recs[0])
+		}
 	}
 }
 

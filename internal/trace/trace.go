@@ -1,5 +1,6 @@
 // Package trace defines the dynamic instruction trace format produced by the
-// functional emulator and consumed by the ILP analyses.
+// functional emulator and consumed by the ILP analyses — the substrate of
+// the paper's Section 3 trace study (Fig. 7).
 //
 // A Record captures exactly what the paper's dependence models need: the
 // architectural registers read and written (with the Flags register made
