@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/minic"
+	"repro/internal/pbbs"
+)
+
+// steadyAllocBudget bounds the heap allocations of one whole warmed
+// simulation (thousands of cycles): the Result construction and a few
+// fixed-cost odds and ends. Anything per-cycle or per-instruction creeping
+// back into the hot path shows up as thousands of allocations per run and
+// fails loudly — the pre-arena implementation allocated ~30k times on this
+// workload.
+const steadyAllocBudget = 64
+
+// inject writes the workload inputs into the machine's committed memory,
+// exactly as backend.Machine.Run does after machine.New.
+func inject(t *testing.T, m *machine.Machine, prog *isa.Program, in backend.Inputs) {
+	t.Helper()
+	for sym, words := range in {
+		addr, ok := prog.DataAddr(sym)
+		if !ok {
+			t.Fatalf("program has no data symbol %q", sym)
+		}
+		for i, w := range words {
+			m.DMH().WriteU64(addr+uint64(8*i), w)
+		}
+	}
+}
+
+// TestSteadyStateAllocs pins the tentpole's allocation contract: on a warmed
+// machine (arenas grown to the workload's footprint by one completed run),
+// Reset + re-run performs effectively zero heap allocations per simulated
+// cycle. Checked on one core and on 16 (multi-core exercises the renaming
+// request path, section migration and the per-core queues).
+func TestSteadyStateAllocs(t *testing.T) {
+	k, err := pbbs.Find("duplicates")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := k.ClampN(64)
+	prog, err := k.Build(n, minic.ModeFork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := k.Gen(n, 1)
+	want := k.Ref(n, in)
+
+	for _, cores := range []int{1, 16} {
+		m, err := machine.New(prog, machine.DefaultConfig(cores))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inject(t, m, prog, in)
+		warm, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm.RAX != want {
+			t.Fatalf("c%d: checksum %d, reference %d", cores, warm.RAX, want)
+		}
+
+		var runErr error
+		avg := testing.AllocsPerRun(3, func() {
+			m.Reset()
+			for sym, words := range in {
+				addr, _ := prog.DataAddr(sym)
+				for i, w := range words {
+					m.DMH().WriteU64(addr+uint64(8*i), w)
+				}
+			}
+			res, err := m.Run()
+			if err != nil {
+				runErr = err
+				return
+			}
+			if res.RAX != want || res.Cycles != warm.Cycles {
+				runErr = errMismatch
+			}
+		})
+		if runErr != nil {
+			t.Fatalf("c%d: warmed re-run failed: %v", cores, runErr)
+		}
+		perCycle := avg / float64(warm.Cycles)
+		t.Logf("c%d: %.0f allocs per warmed run over %d cycles = %g allocs/cycle",
+			cores, avg, warm.Cycles, perCycle)
+		if avg > steadyAllocBudget {
+			t.Errorf("c%d: warmed run allocated %.0f times (budget %d; %g allocs per simulated cycle) — the hot path is no longer allocation-free",
+				cores, avg, steadyAllocBudget, perCycle)
+		}
+	}
+}
+
+var errMismatch = errString("warmed re-run produced a different result")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }

@@ -97,13 +97,20 @@ type Point struct {
 
 // Report is the serialised benchmark outcome.
 type Report struct {
-	Schema    string  `json:"schema"`
-	GoVersion string  `json:"goVersion"`
-	GOOS      string  `json:"goos"`
-	GOARCH    string  `json:"goarch"`
-	CPUs      int     `json:"cpus"`
-	Runs      int     `json:"runs"`
-	Points    []Point `json:"points"`
+	Schema    string `json:"schema"`
+	GoVersion string `json:"goVersion"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// CPUs is the machine's logical CPU count (runtime.NumCPU) and
+	// Gomaxprocs the scheduler's processor limit at measurement time —
+	// recorded separately because they routinely differ under containers
+	// and CI cgroup limits, and trajectory points are only comparable when
+	// both match. (Reports written before the split carry gomaxprocs 0 =
+	// unknown.)
+	CPUs       int     `json:"cpus"`
+	Gomaxprocs int     `json:"gomaxprocs"`
+	Runs       int     `json:"runs"`
+	Points     []Point `json:"points"`
 	// Aggregates over the whole grid: total wall time divided by total
 	// simulated cycles, per scheduler, and the total wall-time ratio.
 	DenseNsPerCycle    float64 `json:"denseNsPerCycle"`
@@ -137,12 +144,13 @@ func Measure(g Grid) (*Report, error) {
 		return nil, err
 	}
 	rep := &Report{
-		Schema:    Schema,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
-		Runs:      g.Runs,
+		Schema:     Schema,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		Gomaxprocs: runtime.GOMAXPROCS(0),
+		Runs:       g.Runs,
 	}
 	var denseNs, skipNs, cycles int64
 	for _, k := range ks {
@@ -162,6 +170,11 @@ func Measure(g Grid) (*Report, error) {
 					// point simulates — with only the scheduler varied.
 					mb := backend.NewMachine(cores)
 					mb.Cfg.Dense = dense
+					// Collect the previous simulation's garbage outside the
+					// timed window, so each timing reflects its own run, not
+					// the backlog of whichever scheduler happened to go
+					// before it.
+					runtime.GC()
 					start := time.Now()
 					res, err := mb.Run(prog, in, false)
 					ns := time.Since(start).Nanoseconds()
@@ -259,7 +272,7 @@ func (r *Report) Table() string {
 			float64(p.DenseNs)/1e6, float64(p.IdleSkipNs)/1e6,
 			p.DenseNsPerCycle, p.IdleSkipNsPerCycle, p.Speedup)
 	}
-	fmt.Fprintf(&b, "aggregate: dense %.1f ns/cycle, idle-skip %.1f ns/cycle, speedup %.2fx (%s, %d cpus, best of %d)\n",
-		r.DenseNsPerCycle, r.IdleSkipNsPerCycle, r.Speedup, r.GoVersion, r.CPUs, r.Runs)
+	fmt.Fprintf(&b, "aggregate: dense %.1f ns/cycle, idle-skip %.1f ns/cycle, speedup %.2fx (%s, %d cpus, gomaxprocs %d, best of %d)\n",
+		r.DenseNsPerCycle, r.IdleSkipNsPerCycle, r.Speedup, r.GoVersion, r.CPUs, r.Gomaxprocs, r.Runs)
 	return b.String()
 }

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkReport(idle ...float64) *Report {
+	r := &Report{Schema: Schema}
+	for i, v := range idle {
+		r.Points = append(r.Points, Point{
+			Kernel: "k", N: 64, Cores: 1 << i,
+			IdleSkipNsPerCycle: v,
+			DenseNsPerCycle:    v * 3,
+		})
+	}
+	return r
+}
+
+func TestCompare(t *testing.T) {
+	old := mkReport(1000, 2000, 500)
+	cur := mkReport(900, 2500, 500) // -10%, +25%, ±0%
+
+	c := Compare(old, cur, 0.20)
+	if len(c.Deltas) != 3 || c.NewOnly != 0 {
+		t.Fatalf("deltas %d newOnly %d, want 3/0", len(c.Deltas), c.NewOnly)
+	}
+	if c.Deltas[0].Regressed || !c.Deltas[1].Regressed || c.Deltas[2].Regressed {
+		t.Errorf("regression flags wrong: %+v", c.Deltas)
+	}
+	if got := c.Deltas[1].Change; got < 0.24 || got > 0.26 {
+		t.Errorf("delta[1] change %v, want 0.25", got)
+	}
+	err := c.Err()
+	if err == nil || !strings.Contains(err.Error(), "c2") {
+		t.Errorf("Err() = %v, want a regression naming point c2", err)
+	}
+	tbl := c.Table()
+	for _, want := range []string{"REGRESSED", "+25.0%", "-10.0%", "old-idle/c"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+
+	// Within a looser tolerance the same measurement passes.
+	if err := Compare(old, cur, 0.30).Err(); err != nil {
+		t.Errorf("tolerance 0.30 still failed: %v", err)
+	}
+	// Zero tolerance is honoured: any growth regresses, improvements pass.
+	strict := Compare(old, cur, 0)
+	if strict.Tolerance != 0 || strict.Deltas[0].Regressed || !strict.Deltas[1].Regressed {
+		t.Errorf("zero tolerance not strict: %+v", strict.Deltas)
+	}
+	// Negative falls back to the default.
+	if got := Compare(old, cur, -1).Tolerance; got != DefaultTolerance {
+		t.Errorf("negative tolerance resolved to %v, want default %v", got, DefaultTolerance)
+	}
+}
+
+func TestCompareInvalidBaseline(t *testing.T) {
+	old := mkReport(0, 1000) // first point malformed (zero ns/cycle)
+	cur := mkReport(900, 900)
+	c := Compare(old, cur, 0.20)
+	if c.Invalid != 1 {
+		t.Fatalf("invalid count %d, want 1", c.Invalid)
+	}
+	err := c.Err()
+	if err == nil || !strings.Contains(err.Error(), "malformed baseline") {
+		t.Errorf("Err() = %v, want a malformed-baseline error", err)
+	}
+}
+
+func TestCompareUnmatchedPoints(t *testing.T) {
+	old := mkReport(1000)
+	cur := mkReport(1000, 800) // second point has no baseline
+	c := Compare(old, cur, 0.20)
+	if len(c.Deltas) != 1 || c.NewOnly != 1 {
+		t.Fatalf("deltas %d newOnly %d, want 1/1", len(c.Deltas), c.NewOnly)
+	}
+	if err := c.Err(); err != nil {
+		t.Errorf("unmatched points must not fail the compare: %v", err)
+	}
+	if !strings.Contains(c.Table(), "no baseline counterpart") {
+		t.Error("table does not mention the unmatched point")
+	}
+}

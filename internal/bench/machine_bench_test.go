@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/machine"
+	"repro/internal/minic"
+	"repro/internal/pbbs"
+)
+
+// BenchmarkMachineRun times one full machine simulation per iteration, so
+// `go test -bench MachineRun ./internal/bench` measures the simulator hot
+// path without the custom bench-sim rig. ns/op divided by the reported
+// cycles/op metric is the same ns-per-cycle figure BENCH_machine.json tracks.
+func BenchmarkMachineRun(b *testing.B) {
+	for _, tc := range []struct {
+		kernel string
+		cores  int
+	}{
+		{"quicksort", 1},
+		{"quicksort", 16},
+		{"quicksort", 64},
+		{"duplicates", 64},
+	} {
+		k, err := pbbs.Find(tc.kernel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := k.ClampN(64)
+		prog, err := k.Build(n, minic.ModeFork)
+		if err != nil {
+			b.Fatal(err)
+		}
+		in := k.Gen(n, 1)
+		b.Run(fmt.Sprintf("%s/c%d", tc.kernel, tc.cores), func(b *testing.B) {
+			b.ReportAllocs()
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				mb := backend.NewMachine(tc.cores)
+				res, err := mb.Run(prog, in, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.Cycles
+			}
+			b.ReportMetric(float64(cycles), "cycles/op")
+		})
+	}
+}
+
+// BenchmarkMachineRunSteady times warmed re-runs on one reused machine
+// (machine.Reset between iterations): the steady-state serving shape, where
+// arenas are grown and the hot path allocates nothing. The gap between this
+// and BenchmarkMachineRun is the per-simulation construction and GC cost.
+func BenchmarkMachineRunSteady(b *testing.B) {
+	k, err := pbbs.Find("quicksort")
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := k.ClampN(64)
+	prog, err := k.Build(n, minic.ModeFork)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := k.Gen(n, 1)
+	for _, cores := range []int{1, 64} {
+		b.Run(fmt.Sprintf("c%d", cores), func(b *testing.B) {
+			m, err := machine.New(prog, machine.DefaultConfig(cores))
+			if err != nil {
+				b.Fatal(err)
+			}
+			seed := func() {
+				for sym, words := range in {
+					addr, _ := prog.DataAddr(sym)
+					for i, w := range words {
+						m.DMH().WriteU64(addr+uint64(8*i), w)
+					}
+				}
+			}
+			seed()
+			if _, err := m.Run(); err != nil { // warm the arenas
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				m.Reset()
+				seed()
+				res, err := m.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.Cycles
+			}
+			b.ReportMetric(float64(cycles), "cycles/op")
+		})
+	}
+}

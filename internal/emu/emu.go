@@ -63,6 +63,17 @@ func (m *Memory) page(addr uint64, create bool) *[pageSize]byte {
 	return p
 }
 
+// Reset zeroes every mapped page, returning the memory to its empty state
+// while keeping the pages allocated. A memory image that is rebuilt after
+// Reset (program data, injected inputs, the same deterministic run) touches
+// only pages mapped before, so a warmed machine re-runs without page
+// allocations — part of machine.Reset's no-steady-state-allocation contract.
+func (m *Memory) Reset() {
+	for _, p := range m.pages {
+		clear(p[:])
+	}
+}
+
 // ReadU64 reads the 8-byte little-endian word at addr. Unmapped bytes read
 // as zero.
 func (m *Memory) ReadU64(addr uint64) uint64 {

@@ -72,6 +72,21 @@ func ParseReg(name string) (Reg, bool) {
 // IsGPR reports whether r is a general-purpose register (not Flags).
 func (r Reg) IsGPR() bool { return r < Flags }
 
+// RegMask is a bitset over the architectural registers, the allocation-free
+// representation of small register sets (dependence analyses, the
+// simulator's address-source classification and read/write deduplication).
+type RegMask uint32
+
+// The register file must fit in a RegMask (compile-time check: the shift
+// overflows the untyped constant if NumRegs outgrows 32).
+const _ RegMask = 1 << (NumRegs - 1)
+
+// Has reports whether r is in the set.
+func (m RegMask) Has(r Reg) bool { return m&(1<<r) != 0 }
+
+// Add inserts r into the set.
+func (m *RegMask) Add(r Reg) { *m |= 1 << r }
+
 // Op enumerates the instruction opcodes.
 type Op uint8
 
@@ -541,6 +556,36 @@ func (in *Instruction) RegWrites(buf []Reg) []Reg {
 		buf = append(buf, Flags)
 	}
 	return buf
+}
+
+// AddrRegs returns the set of registers that feed only the address
+// computation of a memory instruction. The paper's pipeline splits a memory
+// op's sources in two: address-forming registers gate the execute-write-back
+// stage (which computes the access address), while the remaining data
+// sources are needed only at memory access. Non-memory instructions return
+// the empty set.
+func (in *Instruction) AddrRegs() RegMask {
+	var m RegMask
+	switch in.Op {
+	case PUSH, POP:
+		m.Add(RSP)
+		return m
+	}
+	add := func(o Operand) {
+		if o.Base != NoReg && o.Base < NumRegs {
+			m.Add(o.Base)
+		}
+		if o.Index != NoReg && o.Index < NumRegs {
+			m.Add(o.Index)
+		}
+	}
+	if mo, ok := in.MemRead(); ok {
+		add(mo)
+	}
+	if mo, ok := in.MemWrite(); ok {
+		add(mo)
+	}
+	return m
 }
 
 // MemRead reports whether the instruction loads from data memory, and which

@@ -6,34 +6,76 @@ import (
 	"repro/internal/isa"
 )
 
+// wrSlot returns the index of d's result cell for register r, claiming a
+// free cell on first use. An instruction writes at most maxWr registers
+// (guaranteed by isa.Instruction.RegWrites); the array bound traps any
+// violation.
+func (d *DynInst) wrSlot(r isa.Reg) int {
+	for i := 0; i < int(d.nwr); i++ {
+		if d.wrRegs[i] == r {
+			return i
+		}
+	}
+	i := int(d.nwr)
+	d.wrRegs[i] = r
+	d.nwr++
+	return i
+}
+
+// regWritten reports whether d has already produced a result for r.
+func (d *DynInst) regWritten(r isa.Reg) bool {
+	for i := 0; i < int(d.nwr); i++ {
+		if d.wrRegs[i] == r {
+			return d.wrAt[i] != 0
+		}
+	}
+	return false
+}
+
 // setReg records one register result of d becoming available at cycle cyc.
 func (d *DynInst) setReg(r isa.Reg, v uint64, cyc int64) {
-	if d.regAt[r] != 0 {
+	i := d.wrSlot(r)
+	if d.wrAt[i] != 0 {
 		// Keep the earliest availability (e.g. pop's rsp update computed at
 		// fetch must not be delayed by the load half).
-		d.regOut[r] = v
+		d.wrVal[i] = v
 		return
 	}
-	d.regOut[r] = v
-	d.regAt[r] = cyc
+	d.wrVal[i] = v
+	d.wrAt[i] = cyc
 }
 
 // srcValue returns the resolved value of register r among d's sources.
 func (d *DynInst) srcValue(r isa.Reg) uint64 {
-	for _, s := range d.srcs {
-		if s.reg == r {
-			return s.prod.value()
+	for i := range d.srcs[:d.nsrcs] {
+		if d.srcs[i].reg == r {
+			return d.srcs[i].prod.value()
 		}
 	}
 	return 0
 }
 
+// regWrites collects the register results of one instruction evaluation: at
+// most two writes (a destination plus Flags, or rax plus rdx for divides).
+// A fixed-size out-parameter, not a map — the previous map allocation per
+// evaluated instruction was one of the simulator's top allocation sites.
+type regWrites struct {
+	n   int
+	reg [2]isa.Reg
+	val [2]uint64
+}
+
+func (w *regWrites) set(r isa.Reg, v uint64) {
+	w.reg[w.n] = r
+	w.val[w.n] = v
+	w.n++
+}
+
 // evalRegCompute computes the register results of a non-memory instruction
-// given a register reader. Used both by the fetch stage's in-order partial
-// execution and by the execute-write-back stage. Returns false when the
-// opcode has no register computation here (controls, memory ops).
-func evalRegCompute(in *isa.Instruction, rd func(isa.Reg) uint64) (map[isa.Reg]uint64, error) {
-	out := make(map[isa.Reg]uint64, 2)
+// given a register reader, appending them to out. Used both by the fetch
+// stage's in-order partial execution and by the execute-write-back stage.
+// Controls and memory ops produce no writes here.
+func evalRegCompute(in *isa.Instruction, rd func(isa.Reg) uint64, out *regWrites) error {
 	src := func() uint64 {
 		switch in.Src.Kind {
 		case isa.KindReg:
@@ -45,9 +87,9 @@ func evalRegCompute(in *isa.Instruction, rd func(isa.Reg) uint64) (map[isa.Reg]u
 	}
 	switch in.Op {
 	case isa.NOP, isa.JMP, isa.Jcc, isa.FORK, isa.ENDFORK, isa.HLT:
-		return out, nil
+		return nil
 	case isa.MOV:
-		out[in.Dst.Reg] = src()
+		out.set(in.Dst.Reg, src())
 	case isa.LEA:
 		a := uint64(in.Src.Imm)
 		if in.Src.Base != isa.NoReg {
@@ -56,7 +98,7 @@ func evalRegCompute(in *isa.Instruction, rd func(isa.Reg) uint64) (map[isa.Reg]u
 		if in.Src.Index != isa.NoReg {
 			a += rd(in.Src.Index) * uint64(in.Src.Scale)
 		}
-		out[in.Dst.Reg] = a
+		out.set(in.Dst.Reg, a)
 	case isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.IMUL, isa.SHL, isa.SHR, isa.SAR:
 		a := rd(in.Dst.Reg)
 		b := src()
@@ -92,64 +134,64 @@ func evalRegCompute(in *isa.Instruction, rd func(isa.Reg) uint64) (map[isa.Reg]u
 			r = uint64(int64(a) >> (b & 63))
 			fl = isa.FlagsLogic(r)
 		}
-		out[in.Dst.Reg] = r
+		out.set(in.Dst.Reg, r)
 		if setFlags {
-			out[isa.Flags] = uint64(fl)
+			out.set(isa.Flags, uint64(fl))
 		}
 	case isa.NEG:
 		v := rd(in.Dst.Reg)
 		r := -v
-		out[in.Dst.Reg] = r
-		out[isa.Flags] = uint64(isa.FlagsSub(0, v, r))
+		out.set(in.Dst.Reg, r)
+		out.set(isa.Flags, uint64(isa.FlagsSub(0, v, r)))
 	case isa.NOT:
-		out[in.Dst.Reg] = ^rd(in.Dst.Reg)
+		out.set(in.Dst.Reg, ^rd(in.Dst.Reg))
 	case isa.INC:
 		v := rd(in.Dst.Reg)
-		out[in.Dst.Reg] = v + 1
-		out[isa.Flags] = uint64(isa.FlagsAdd(v, 1, v+1))
+		out.set(in.Dst.Reg, v+1)
+		out.set(isa.Flags, uint64(isa.FlagsAdd(v, 1, v+1)))
 	case isa.DEC:
 		v := rd(in.Dst.Reg)
-		out[in.Dst.Reg] = v - 1
-		out[isa.Flags] = uint64(isa.FlagsSub(v, 1, v-1))
+		out.set(in.Dst.Reg, v-1)
+		out.set(isa.Flags, uint64(isa.FlagsSub(v, 1, v-1)))
 	case isa.CQTO:
-		out[isa.RDX] = uint64(int64(rd(isa.RAX)) >> 63)
+		out.set(isa.RDX, uint64(int64(rd(isa.RAX))>>63))
 	case isa.CMP:
 		a := rd(in.Dst.Reg)
 		b := src()
-		out[isa.Flags] = uint64(isa.FlagsSub(a, b, a-b))
+		out.set(isa.Flags, uint64(isa.FlagsSub(a, b, a-b)))
 	case isa.TEST:
-		out[isa.Flags] = uint64(isa.FlagsLogic(rd(in.Dst.Reg) & src()))
+		out.set(isa.Flags, uint64(isa.FlagsLogic(rd(in.Dst.Reg)&src())))
 	case isa.SETcc:
 		v := uint64(0)
 		if in.Cond.Eval(isa.FlagsVal(rd(isa.Flags))) {
 			v = 1
 		}
-		out[in.Dst.Reg] = v
+		out.set(in.Dst.Reg, v)
 	case isa.DIV:
 		d := rd(in.Dst.Reg)
 		if d == 0 {
-			return nil, fmt.Errorf("division by zero")
+			return fmt.Errorf("division by zero")
 		}
 		if rd(isa.RDX) != 0 {
-			return nil, fmt.Errorf("divq with non-zero rdx")
+			return fmt.Errorf("divq with non-zero rdx")
 		}
-		out[isa.RAX] = rd(isa.RAX) / d
-		out[isa.RDX] = rd(isa.RAX) % d
+		out.set(isa.RAX, rd(isa.RAX)/d)
+		out.set(isa.RDX, rd(isa.RAX)%d)
 	case isa.IDIV:
 		d := int64(rd(in.Dst.Reg))
 		if d == 0 {
-			return nil, fmt.Errorf("division by zero")
+			return fmt.Errorf("division by zero")
 		}
 		num := int64(rd(isa.RAX))
 		if int64(rd(isa.RDX)) != num>>63 {
-			return nil, fmt.Errorf("idivq with rdx not the sign extension of rax")
+			return fmt.Errorf("idivq with rdx not the sign extension of rax")
 		}
-		out[isa.RAX] = uint64(num / d)
-		out[isa.RDX] = uint64(num % d)
+		out.set(isa.RAX, uint64(num/d))
+		out.set(isa.RDX, uint64(num%d))
 	default:
-		return nil, fmt.Errorf("unexpected opcode %s in register compute", in.Op)
+		return fmt.Errorf("unexpected opcode %s in register compute", in.Op)
 	}
-	return out, nil
+	return nil
 }
 
 // effectiveAddr computes the data address of a memory instruction from its
@@ -307,42 +349,13 @@ func (d *DynInst) evalMemAccess(memVal uint64, cyc int64) error {
 	return nil
 }
 
-// addrRegs returns the set of registers feeding only the address computation
-// of a memory instruction (needed at EW; other sources are needed at MA).
-func addrRegs(in *isa.Instruction) map[isa.Reg]bool {
-	m := make(map[isa.Reg]bool, 2)
-	switch in.Op {
-	case isa.PUSH, isa.POP:
-		m[isa.RSP] = true
-		return m
-	}
-	add := func(o isa.Operand) {
-		if o.Kind != isa.KindMem {
-			return
-		}
-		if o.Base != isa.NoReg && o.Base < isa.NumRegs {
-			m[o.Base] = true
-		}
-		if o.Index != isa.NoReg && o.Index < isa.NumRegs {
-			m[o.Index] = true
-		}
-	}
-	if mo, ok := in.MemRead(); ok {
-		add(mo)
-	}
-	if mo, ok := in.MemWrite(); ok {
-		add(mo)
-	}
-	return m
-}
-
 // dedupRegs removes duplicates in place, preserving order.
 func dedupRegs(rs []isa.Reg) []isa.Reg {
 	out := rs[:0]
-	var seen [isa.NumRegs]bool
+	var seen isa.RegMask
 	for _, r := range rs {
-		if r < isa.NumRegs && !seen[r] {
-			seen[r] = true
+		if r < isa.NumRegs && !seen.Has(r) {
+			seen.Add(r)
 			out = append(out, r)
 		}
 	}

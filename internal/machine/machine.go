@@ -17,6 +17,13 @@
 //
 // The simulator executes fork programs (no call/ret) and is validated
 // against the sequential emulator: same final rax and same final memory.
+//
+// The simulated hot path is allocation-free in steady state: dynamic
+// instructions and renaming slots come from per-machine arenas, sections and
+// requests from free lists, the register alias table is a fixed array and
+// the MAAT an open-addressed table with recycled backing (see pool.go), and
+// the per-core queues reuse their buffers. Machine.Reset rewinds everything
+// for another run on the same program without re-allocating.
 package machine
 
 import (
@@ -83,70 +90,85 @@ type val struct {
 }
 
 // producer is anything a renamed source can wait on: an in-flight
-// instruction's register result, a store's memory value, or a slot filled by
-// a remote renaming response or a fork register copy.
-type producer interface {
-	// readyAt returns the cycle the value became available, or -1 if not
-	// yet available. A consumer stage running at cycle c may use the value
-	// when readyAt() >= 0 && readyAt() < c.
-	readyAt() int64
-	value() uint64
+// instruction's register result, a store's memory value, a slot filled by a
+// remote renaming response, or an immediately available creation-copy value.
+// Every one of those reduces to the same two words, so a producer simply
+// points at them: the ready-time cell (0 = not yet produced; real cycles
+// start at 1) and the value cell. An instruction's register result points
+// into its wrAt/wrVal cells, a store's memory value at its tMA/storeVal
+// fields, a renaming response at its slot. readyAt is the hottest read in
+// the simulator — every waiting instruction re-polls its blocking source
+// through it — and earlier representations (an interface with dynamic
+// dispatch, then a 40-byte tagged union with a kind switch) both showed up
+// at the top of the CPU profile; two direct loads do not.
+type producer struct {
+	t *int64
+	v *uint64
 }
 
-// slot is a value container: fork-copied registers, renaming-request caches
-// (the paper's "destination d serves as a caching of the missing source"),
-// and remotely fetched memory words.
+func slotProd(sl *slot) producer { return producer{t: &sl.at, v: &sl.v} }
+func regProd(d *DynInst, r isa.Reg) producer {
+	i := d.wrSlot(r)
+	return producer{t: &d.wrAt[i], v: &d.wrVal[i]}
+}
+func memProd(d *DynInst) producer { return producer{t: &d.tMA, v: &d.storeVal} }
+
+// constProd returns an already-available producer (a creation-message
+// register copy), backed by a pre-filled arena slot.
+func (m *Machine) constProd(v uint64, at int64) producer {
+	sl := m.slots.alloc()
+	sl.v = v
+	sl.at = at
+	return slotProd(sl)
+}
+
+// valid reports whether p holds a producer at all.
+func (p *producer) valid() bool { return p.t != nil }
+
+// readyAt returns the cycle the value became available, or -1 if not yet
+// available. A consumer stage running at cycle c may use the value when
+// readyAt() >= 0 && readyAt() < c.
+func (p *producer) readyAt() int64 {
+	if t := *p.t; t != 0 {
+		return t
+	}
+	return -1
+}
+
+// value returns the produced value; meaningful once readyAt() >= 0.
+func (p *producer) value() uint64 { return *p.v }
+
+// slot is a shared fill cell: renaming-request caches (the paper's
+// "destination d serves as a caching of the missing source") and remotely
+// fetched memory words. Slots are arena-allocated.
 type slot struct {
 	v  uint64
-	at int64 // -1 until filled
+	at int64 // 0 until filled
 }
 
-func newSlot() *slot { return &slot{at: -1} }
-
-func filledSlot(v uint64, at int64) *slot { return &slot{v: v, at: at} }
-
-func (s *slot) readyAt() int64 { return s.at }
-func (s *slot) value() uint64  { return s.v }
 func (s *slot) fill(v uint64, at int64) {
 	s.v = v
 	s.at = at
 }
 
-// regProd is an instruction's register result viewed as a producer.
-type regProd struct {
-	inst *DynInst
-	reg  isa.Reg
-}
-
-func (p regProd) readyAt() int64 {
-	if t := p.inst.regAt[p.reg]; t != 0 {
-		return t
-	}
-	return -1
-}
-func (p regProd) value() uint64 { return p.inst.regOut[p.reg] }
-
-// memProd is a store instruction's memory value viewed as a producer.
-type memProd struct {
-	inst *DynInst
-}
-
-func (p memProd) readyAt() int64 {
-	if p.inst.tMA == 0 {
-		return -1
-	}
-	return p.inst.tMA
-}
-func (p memProd) value() uint64 { return p.inst.storeVal }
-
 // srcRef is one resolved register source of an instruction.
 type srcRef struct {
-	reg  isa.Reg
 	prod producer
+	reg  isa.Reg
 	addr bool // true when the register only feeds the address computation
 }
 
-// DynInst is one dynamic instruction in flight.
+// maxSrcs bounds the register sources of one instruction after
+// deduplication (the widest case is divq with a memory destination: rax,
+// rdx, base, index).
+const maxSrcs = 4
+
+// maxWr bounds the architectural registers one instruction writes: a
+// destination plus Flags, or rax plus rdx for the divides.
+const maxWr = 2
+
+// DynInst is one dynamic instruction in flight. DynInsts are arena-allocated
+// (a chunked arena, pool.go) and recycled wholesale by Machine.Reset.
 type DynInst struct {
 	Sec   *Section
 	Idx   int // ordinal within the section
@@ -156,13 +178,20 @@ type DynInst struct {
 
 	class           isa.Class
 	computedAtFetch bool
-	srcs            []srcRef
-	// regOut/regAt hold the register results and the cycle each became
-	// ready (0 = no result for that register; real cycles start at 1).
-	// Fixed arrays, not maps: readyAt is the hottest read in the simulator —
-	// every waiting instruction re-polls its sources via it each cycle.
-	regOut [isa.NumRegs]uint64
-	regAt  [isa.NumRegs]int64
+	nsrcs           uint8
+	srcs            [maxSrcs]srcRef
+	// Register-result cells: wrRegs names the (at most maxWr) registers the
+	// instruction writes, wrVal/wrAt their values and ready cycles (0 = not
+	// yet produced; real cycles start at 1). Cells are claimed
+	// find-or-create by wrSlot — at fetch for in-stage computed results, at
+	// rename for the alias-table producers — and their wrAt/wrVal words are
+	// exactly what regProd points consumers at. Two cells instead of the
+	// earlier [NumRegs] arrays: the arrays made DynInst so large that
+	// zeroing and GC-scanning the arena dominated fork-heavy workloads.
+	wrRegs [maxWr]isa.Reg
+	nwr    uint8
+	wrAt   [maxWr]int64
+	wrVal  [maxWr]uint64
 
 	addr     uint64 // effective address (mem ops), set at EW
 	storeVal uint64 // store data, set at MA
@@ -177,7 +206,8 @@ type DynInst struct {
 	// registers that were not computed at the fork point and must be
 	// linked to the creator's current producers at the rename stage.
 	createdSec  *Section
-	pendingCopy []isa.Reg
+	pendingCopy [16]isa.Reg
+	nPending    uint8
 
 	// Stage timestamps (0 = not yet / not applicable): fetch-decode,
 	// register-rename, execute-write-back, address-rename, memory-access,
@@ -189,9 +219,41 @@ type DynInst struct {
 	// Producer ready times are write-once, so a known wake never changes
 	// and the per-cycle readiness poll collapses to one comparison.
 	ewWakeAt, maWakeAt int64
+	// ewSrcMax/ewSrcIdx (and the ma pair) make the wake computation
+	// incremental while some source is still unready: sources are confirmed
+	// ready left to right, the running maximum of their ready times is kept,
+	// and a confirmed source is never polled again — only the first
+	// still-unready source is re-polled per visit. Exact for the same
+	// write-once reason the whole-wake cache is. A max of 0 means the
+	// accumulation has not started (real ready times are >= 1); for the ma
+	// pair index 0 is the loaded-value producer, index i+1 is srcs[i].
+	ewSrcMax, maSrcMax int64
+	ewSrcIdx, maSrcIdx uint8
+	// ewBlock/maBlock point at the ready cell of the source the last wake
+	// computation blocked on. While that cell is still zero the instruction
+	// cannot possibly pass the stage, so the issue scans skip it with a
+	// single load instead of re-entering the wake computation — the
+	// difference between the blocked and runnable cases dominated the CPU
+	// profile, since most queue residents are blocked most cycles.
+	ewBlock, maBlock *int64
 }
 
 func (d *DynInst) isMem() bool { return d.class == isa.ClassLoad || d.class == isa.ClassStore }
+
+// ewBlocked reports that d provably cannot pass the execute-write-back
+// stage this cycle: no cached wake, and the source the last wake
+// computation blocked on is still unproduced. This is the single
+// definition of the skip test the issue scans and nextWake apply — the
+// exactness of the idle-skip scheduler rests on it, so it must not be
+// re-derived at call sites.
+func (d *DynInst) ewBlocked() bool {
+	return d.ewWakeAt == 0 && d.ewBlock != nil && *d.ewBlock == 0
+}
+
+// maBlocked is ewBlocked's memory-access-stage counterpart.
+func (d *DynInst) maBlocked() bool {
+	return d.maWakeAt == 0 && d.maBlock != nil && *d.maBlock == 0
+}
 
 // done reports whether the instruction has produced everything it will.
 func (d *DynInst) done() bool {
@@ -202,6 +264,7 @@ func (d *DynInst) done() bool {
 }
 
 // Section is one instruction flow, created by a fork (or the initial flow).
+// Section shells are pooled and recycled by Machine.Reset.
 type Section struct {
 	ID        int64 // creation sequence number
 	Pos       int   // current position in the machine's total order
@@ -210,10 +273,14 @@ type Section struct {
 
 	Insts []*DynInst
 
-	rat  map[isa.Reg]producer // register alias table + caches + fork copies
-	maat map[uint64]producer  // memory address alias table (8-byte words)
-	arQ  []*DynInst           // memory ops awaiting in-order address renaming
-	init [isa.NumRegs]val     // creation-message register copies
+	// rat is the register alias table (+ request caches + fork copies): a
+	// fixed array indexed by register, with the producer's kind as the
+	// validity mark. The previous map[isa.Reg]producer paid map hashing on
+	// every rename of a 17-entry keyspace.
+	rat  [isa.NumRegs]producer
+	maat maat             // memory address alias table (8-byte words)
+	arQ  fifo[*DynInst]   // memory ops awaiting in-order address renaming
+	init [isa.NumRegs]val // creation-message register copies
 
 	startIP   int64
 	fetchDone bool
@@ -244,21 +311,26 @@ func (s *Section) fullyRetired() bool {
 }
 
 // sectionMsg is the section-creation message a fork sends to a hosting core.
+// Messages live as values inside the per-core FIFO ring — no per-message
+// allocation.
 type sectionMsg struct {
 	sec       *Section
 	deliverAt int64
 }
 
-// Core is one core's pipeline state.
+// Core is one core's pipeline state. The queues are reusable-buffer
+// structures: the FIFOs slide instead of re-slicing, and the issue/load-store
+// queues delete by swap (their storage order carries no meaning — selection
+// orders by the explicit (section position, ordinal) comparison).
 type Core struct {
 	id        int
 	rf        [isa.NumRegs]val // fetch-stage register file
 	fetch     *Section
-	pending   []sectionMsg // FIFO of section-creation messages
-	suspended []*Section   // stalled sections set aside to fetch pending ones
-	renameQ   []*DynInst
-	iq        []*DynInst // waiting execution
-	lsq       []*DynInst // waiting memory access
+	pending   fifo[sectionMsg] // FIFO of section-creation messages
+	suspended fifo[*Section]   // stalled sections set aside to fetch pending ones
+	renameQ   fifo[*DynInst]
+	iq        []*DynInst // waiting execution (unordered)
+	lsq       []*DynInst // waiting memory access (unordered)
 	live      int        // hosted, not fully retired sections
 	fetched   int64      // statistics
 }
@@ -269,7 +341,6 @@ type Machine struct {
 	prog  *isa.Program
 	cores []*Core
 	order []*Section // total section order (dumped sections retained)
-	byID  map[int64]*Section
 	reqs  []*request
 	dmh   *emu.Memory
 	arch  [isa.NumRegs]uint64
@@ -304,6 +375,17 @@ type Machine struct {
 	// request-forwarding messages between cores, value responses travelling
 	// back, and requests answered by the committed state (DMH/loader).
 	createMsgs, reqHops, respMsgs, dmhAnswers int64
+
+	// Arenas, free lists and scratch buffers behind the allocation-free hot
+	// path (pool.go). All of them survive Reset, so a warmed machine re-runs
+	// without growing the heap.
+	dyns     arena[DynInst]
+	slots    arena[slot]
+	secFree  []*Section
+	maatFree [][]maatEntry
+	reqFree  []*request
+	readBuf  []isa.Reg
+	writeBuf []isa.Reg
 }
 
 // DMH returns the data memory hierarchy (the committed memory), for
@@ -333,7 +415,7 @@ func New(prog *isa.Program, cfg Config) (*Machine, error) {
 			return nil, fmt.Errorf("machine: instruction %d is %s; the machine executes fork programs (use internal/forkify or mini-C -fork mode)", i, prog.Text[i].Op)
 		}
 	}
-	m := &Machine{cfg: cfg, prog: prog, byID: make(map[int64]*Section)}
+	m := &Machine{cfg: cfg, prog: prog, dyns: newArena[DynInst](dynChunk), slots: newArena[slot](slotChunk)}
 	for i := 0; i < cfg.Cores; i++ {
 		m.cores = append(m.cores, &Core{id: i})
 	}
@@ -341,35 +423,90 @@ func New(prog *isa.Program, cfg Config) (*Machine, error) {
 	m.arPick = make([]*Section, cfg.Cores)
 	m.retireGen = make([]int64, cfg.Cores)
 	m.arGen = make([]int64, cfg.Cores)
+	m.readBuf = make([]isa.Reg, 0, 2*isa.NumRegs)
+	m.writeBuf = make([]isa.Reg, 0, 2*isa.NumRegs)
 	m.dmh = emu.NewMemory()
-	m.dmh.CopyIn(isa.DataBase, prog.Data)
+	m.boot()
+	return m, nil
+}
+
+// Reset rewinds the machine to its post-New state for another run of the
+// same program, recycling every per-run object: sections, dynamic
+// instructions, slots, requests, alias-table backings and queue buffers all
+// return to the machine's pools, and the committed memory is re-seeded with
+// the program's data segment. Inputs injected into the DMH must be
+// re-injected by the caller, exactly as after New. A warmed machine
+// (one completed Run) re-runs with no steady-state heap allocation — the
+// property pinned by internal/bench's allocation-regression tests.
+func (m *Machine) Reset() {
+	for _, s := range m.order {
+		m.releaseSection(s)
+	}
+	clear(m.order)
+	m.order = m.order[:0]
+	for _, c := range m.cores {
+		c.rf = [isa.NumRegs]val{}
+		c.fetch = nil
+		c.pending.Reset()
+		c.suspended.Reset()
+		c.renameQ.Reset()
+		clear(c.iq)
+		c.iq = c.iq[:0]
+		clear(c.lsq)
+		c.lsq = c.lsq[:0]
+		c.live = 0
+		c.fetched = 0
+	}
+	for _, r := range m.reqs {
+		m.releaseRequest(r)
+	}
+	clear(m.reqs)
+	m.reqs = m.reqs[:0]
+	m.dyns.reset()
+	m.slots.reset()
+	for i := range m.retireGen {
+		m.retireGen[i], m.arGen[i] = 0, 0
+		m.retirePick[i], m.arPick[i] = nil, nil
+	}
+	m.pickGen = 0
+	m.cycle, m.nextSecID, m.lastMove, m.progress = 0, 0, 0, 0
+	m.rrHost, m.oldest = 0, 0
+	m.hltSeen, m.quietMove = false, false
+	m.err = nil
+	m.pendingCreates = 0
+	m.regReqs, m.memReqs = 0, 0
+	m.createMsgs, m.reqHops, m.respMsgs, m.dmhAnswers = 0, 0, 0, 0
+	m.dmh.Reset()
+	m.boot()
+}
+
+// boot seeds the committed state and the initial section, the shared tail of
+// New and Reset.
+func (m *Machine) boot() {
+	m.dmh.CopyIn(isa.DataBase, m.prog.Data)
+	m.arch = [isa.NumRegs]uint64{}
 	m.arch[isa.RSP] = isa.StackTop
 
 	// The initial section: all registers full with the entry state.
-	s := m.newSection(prog.Entry, 0, 0)
+	s := m.newSection(m.prog.Entry, 0, 0)
 	for r := isa.Reg(0); r < isa.NumRegs; r++ {
 		s.init[r] = val{v: m.arch[r], full: true}
 	}
 	m.order = append(m.order, s)
 	s.Pos = 0
 	m.assignHost(s, 0)
-	return m, nil
 }
 
 func (m *Machine) newSection(startIP int64, baseLevel int32, createdAt int64) *Section {
-	s := &Section{
-		ID:        m.nextSecID,
-		Core:      -1,
-		BaseLevel: baseLevel,
-		rat:       make(map[isa.Reg]producer),
-		maat:      make(map[uint64]producer),
-		startIP:   startIP,
-		fetchIP:   startIP,
-		curLevel:  baseLevel,
-		createdAt: createdAt,
-	}
+	s := m.acquireSection()
+	s.ID = m.nextSecID
+	s.Core = -1
+	s.BaseLevel = baseLevel
+	s.startIP = startIP
+	s.fetchIP = startIP
+	s.curLevel = baseLevel
+	s.createdAt = createdAt
 	m.nextSecID++
-	m.byID[s.ID] = s
 	return s
 }
 
@@ -436,7 +573,7 @@ func (m *Machine) assignHost(s *Section, deliverAt int64) {
 	s.Core = host
 	c := m.cores[host]
 	c.live++
-	c.pending = append(c.pending, sectionMsg{sec: s, deliverAt: deliverAt})
+	c.pending.Push(sectionMsg{sec: s, deliverAt: deliverAt})
 	m.pendingCreates++
 }
 
@@ -494,9 +631,12 @@ func (m *Machine) runDense() (*Result, error) {
 //     this cycle fails the strictly-older boundary either way), so one pass
 //     over the live sections computes every core's pick up front (pickHeads)
 //     — same choice, O(sections) instead of O(cores × sections).
-//   - A core with no pick whose fetch slot, message FIFO, suspension list
-//     and stage queues are all empty cannot act: the remaining stages read
-//     only that state, so the core is skipped entirely.
+//   - A core hosting no live section cannot act: every stage reads only the
+//     core's own slots and queues, and all of them (the fetch slot, the
+//     message FIFO, the suspension list, the rename/issue/load-store
+//     queues) hold state of live hosted sections, so c.live == 0 — already
+//     maintained incrementally for the host chooser — implies the core is
+//     inert and is skipped with one comparison.
 //   - If a whole cycle mutates nothing (no stage fired, no request moved,
 //     no section was suspended or dumped), then the machine state at the
 //     next cycle is identical and the earliest cycle at which anything can
@@ -537,6 +677,9 @@ func (m *Machine) runIdleSkip() (*Result, error) {
 		m.quietMove = false
 		m.pickHeads()
 		for _, c := range m.cores {
+			if c.live == 0 {
+				continue
+			}
 			var rp, ap *Section
 			if m.retireGen[c.id] == m.pickGen {
 				rp = m.retirePick[c.id]
@@ -552,7 +695,7 @@ func (m *Machine) runIdleSkip() (*Result, error) {
 			}
 			m.stageMA(c)
 			if ap != nil {
-				m.arApply(c, ap, ap.arQ[0])
+				m.arApply(c, ap, ap.arQ.Front())
 			}
 			m.stageEW(c)
 			m.stageRR(c)
@@ -596,8 +739,8 @@ func (m *Machine) pickHeads() {
 // that state is skipped without calling its stages.
 func coreActive(c *Core) bool {
 	return c.fetch != nil ||
-		len(c.pending) > 0 || len(c.suspended) > 0 ||
-		len(c.renameQ) > 0 || len(c.iq) > 0 || len(c.lsq) > 0
+		!c.pending.Empty() || !c.suspended.Empty() ||
+		!c.renameQ.Empty() || len(c.iq) > 0 || len(c.lsq) > 0
 }
 
 // never is the wake time of work that is blocked on a value or condition not
@@ -622,6 +765,10 @@ func (m *Machine) nextWake() int64 {
 		}
 	}
 	for _, c := range m.cores {
+		if c.live == 0 {
+			// Every wake source below is state of a live hosted section.
+			continue
+		}
 		if c.fetch != nil {
 			if d := c.fetch.stalled; d != nil {
 				if d.resolved && d.tEW > 0 {
@@ -631,29 +778,35 @@ func (m *Machine) nextWake() int64 {
 				wake(m.cycle + 1) // fetch in flight: one instruction per cycle
 			}
 		}
-		if len(c.pending) > 0 {
-			wake(c.pending[0].deliverAt + 1) // creation message consumable
+		if !c.pending.Empty() {
+			wake(c.pending.Front().deliverAt + 1) // creation message consumable
 		}
-		for _, s := range c.suspended {
-			if d := s.stalled; d != nil && d.resolved && d.tEW > 0 {
+		for i, n := 0, c.suspended.Len(); i < n; i++ {
+			if d := c.suspended.At(i).stalled; d != nil && d.resolved && d.tEW > 0 {
 				wake(d.tEW + 1)
 			}
 		}
-		if len(c.renameQ) > 0 {
-			wake(c.renameQ[0].tFD + 1) // rename the cycle after fetch
+		if !c.renameQ.Empty() {
+			wake(c.renameQ.Front().tFD + 1) // rename the cycle after fetch
 		}
 		for _, d := range c.iq {
+			if d.ewBlocked() {
+				continue // no wake until another action produces the source
+			}
 			wake(m.ewWake(d))
 		}
 		for _, d := range c.lsq {
+			if d.maBlocked() {
+				continue
+			}
 			wake(m.maWake(d))
 		}
 	}
 	// Sections before m.oldest are dumped; later ones host the in-order
 	// address-rename and retire heads.
 	for _, s := range m.order[m.oldest:] {
-		if len(s.arQ) > 0 {
-			if h := s.arQ[0]; h.tEW > 0 {
+		if s.arQ.Len() > 0 {
+			if h := s.arQ.Front(); h.tEW > 0 {
 				wake(h.tEW + 1)
 			}
 		}
@@ -677,13 +830,15 @@ func (m *Machine) nextWake() int64 {
 		// not yet fully renamed, or a producer slot not yet filled, can only
 		// change through another action, which has its own wake entry).
 		if t := r.target; t != nil {
-			var p producer
+			var p *producer
 			if r.kind == reqReg {
 				if t.fullyRenamed() {
-					p = t.rat[r.reg]
+					if rp := &t.rat[r.reg]; rp.valid() {
+						p = rp
+					}
 				}
 			} else if t.memRenameDone() {
-				p = t.maat[r.addr]
+				p = t.maat.get(r.addr)
 			}
 			if p != nil {
 				if at := p.readyAt(); at >= 0 {
@@ -707,19 +862,28 @@ func (m *Machine) ewWake(d *DynInst) int64 {
 	if d.tRR == 0 {
 		return never // not renamed yet: the rename-queue entry covers it
 	}
-	t := d.tRR
+	t := d.ewSrcMax
+	if t == 0 {
+		t = d.tRR
+	}
 	if !d.computedAtFetch || d.isMem() {
-		for _, s := range d.srcs {
-			if d.isMem() && !s.addr {
+		mem := d.isMem()
+		for int(d.ewSrcIdx) < int(d.nsrcs) {
+			s := &d.srcs[d.ewSrcIdx]
+			if mem && !s.addr {
+				d.ewSrcIdx++
 				continue
 			}
 			at := s.prod.readyAt()
 			if at < 0 {
+				d.ewSrcMax = t
+				d.ewBlock = s.prod.t
 				return never
 			}
 			if at > t {
 				t = at
 			}
+			d.ewSrcIdx++
 		}
 	}
 	d.ewWakeAt = t + 1
@@ -736,24 +900,36 @@ func (m *Machine) maWake(d *DynInst) int64 {
 	if d.tAR == 0 {
 		return never // not address-renamed yet: the AR head entry covers it
 	}
-	t := d.tAR
-	if d.memSrc != nil {
-		at := d.memSrc.readyAt()
-		if at < 0 {
-			return never
-		}
-		if at > t {
-			t = at
-		}
+	t := d.maSrcMax
+	if t == 0 {
+		t = d.tAR
 	}
-	for _, s := range d.srcs {
-		at := s.prod.readyAt()
+	if d.maSrcIdx == 0 {
+		if d.memSrc.valid() {
+			at := d.memSrc.readyAt()
+			if at < 0 {
+				d.maSrcMax = t
+				d.maBlock = d.memSrc.t
+				return never
+			}
+			if at > t {
+				t = at
+			}
+		}
+		d.maSrcIdx = 1
+	}
+	for int(d.maSrcIdx) <= int(d.nsrcs) {
+		p := &d.srcs[d.maSrcIdx-1].prod
+		at := p.readyAt()
 		if at < 0 {
+			d.maSrcMax = t
+			d.maBlock = p.t
 			return never
 		}
 		if at > t {
 			t = at
 		}
+		d.maSrcIdx++
 	}
 	d.maWakeAt = t + 1
 	return d.maWakeAt
@@ -802,11 +978,14 @@ func (m *Machine) dumpOldest() {
 		}
 		// Register state: every renamed or cached register value.
 		for r := isa.Reg(0); r < isa.NumRegs; r++ {
-			if p, ok := s.rat[r]; ok && p.readyAt() >= 0 {
+			if p := &s.rat[r]; p.valid() && p.readyAt() >= 0 {
 				m.arch[r] = p.value()
 			}
 		}
 		s.dumped = true
+		// The section can no longer be searched by renaming requests; its
+		// MAAT backing goes back to the free list for the next section.
+		m.releaseMaat(&s.maat)
 		m.cores[s.Core].live--
 		m.oldest++
 		m.progress++

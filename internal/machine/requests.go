@@ -16,6 +16,8 @@ const (
 
 // request is one in-flight renaming request travelling backwards along the
 // section order (§4.2). It carries the slot to fill at the requester.
+// Requests are pooled per machine (newRequest/releaseRequest): a finished
+// request is scrubbed and reused by the next one.
 //
 // Protocol: the request searches the section immediately preceding `from`
 // (initially the requesting section) in the *current* total order. A
@@ -48,16 +50,15 @@ type request struct {
 
 // addRequest creates a renaming request for instruction d.
 func (m *Machine) addRequest(kind reqKind, reg isa.Reg, addr uint64, d *DynInst, sl *slot) {
-	r := &request{
-		kind:        kind,
-		reg:         reg,
-		addr:        addr,
-		level:       d.Level,
-		reqSec:      d.Sec,
-		sl:          sl,
-		from:        d.Sec,
-		availableAt: m.cycle,
-	}
+	r := m.newRequest()
+	r.kind = kind
+	r.reg = reg
+	r.addr = addr
+	r.level = d.Level
+	r.reqSec = d.Sec
+	r.sl = sl
+	r.from = d.Sec
+	r.availableAt = m.cycle
 	if kind == reqMem {
 		r.shortcut = rspPositive(d.In)
 		m.memReqs++
@@ -99,16 +100,28 @@ func (m *Machine) searchTarget(r *request) *Section {
 }
 
 // processRequests advances every in-flight renaming request by at most one
-// protocol step per cycle.
+// protocol step per cycle. Finished requests are compacted out of the list
+// in place — surviving requests keep their relative order and are only moved
+// when a hole has actually opened before them (the previous drain loop
+// rewrote the whole list through append every cycle) — and returned to the
+// machine's pool.
 func (m *Machine) processRequests() {
-	live := m.reqs[:0]
-	for _, r := range m.reqs {
+	w := 0
+	for i, r := range m.reqs {
 		m.stepRequest(r)
-		if !r.done {
-			live = append(live, r)
+		if r.done {
+			m.releaseRequest(r)
+			continue
 		}
+		if w != i {
+			m.reqs[w] = r
+		}
+		w++
 	}
-	m.reqs = live
+	if w != len(m.reqs) {
+		clear(m.reqs[w:])
+		m.reqs = m.reqs[:w]
+	}
 }
 
 func (m *Machine) stepRequest(r *request) {
@@ -145,8 +158,8 @@ func (m *Machine) stepRequest(r *request) {
 		if !want.fullyRenamed() {
 			return
 		}
-		p := want.rat[r.reg]
-		if p == nil {
+		p := &want.rat[r.reg]
+		if !p.valid() {
 			r.from = want
 			r.target = nil
 			m.progress++
@@ -158,7 +171,7 @@ func (m *Machine) stepRequest(r *request) {
 	if !want.memRenameDone() {
 		return
 	}
-	p := want.maat[r.addr]
+	p := want.maat.get(r.addr)
 	if p == nil {
 		r.from = want
 		r.target = nil
@@ -171,7 +184,7 @@ func (m *Machine) stepRequest(r *request) {
 // deliver sends the producer's value back to the requester once it is
 // available (the paper's export instruction waits in the IQ/LSQ for the
 // requested value, then reads it and sends it through the RERU/MERU).
-func (m *Machine) deliver(r *request, p producer) {
+func (m *Machine) deliver(r *request, p *producer) {
 	at := p.readyAt()
 	if at < 0 || at >= m.cycle {
 		return // value not produced yet; the export waits

@@ -54,7 +54,7 @@ func (m *Machine) stageFD(c *Core) {
 			// guarantees deadlock freedom when sections outnumber cores).
 			if m.hasFetchWork(c) {
 				sec.rfSave = c.rf
-				c.suspended = append(c.suspended, sec)
+				c.suspended.Push(sec)
 				c.fetch = nil
 				m.quietMove = true // state change with no counter move
 			}
@@ -66,17 +66,16 @@ func (m *Machine) stageFD(c *Core) {
 		return
 	}
 	in := &m.prog.Text[sec.fetchIP]
-	d := &DynInst{
-		Sec:   sec,
-		Idx:   len(sec.Insts),
-		IP:    sec.fetchIP,
-		In:    in,
-		Level: sec.curLevel,
-		class: in.Classify(),
-		tFD:   m.cycle,
-	}
+	d := m.dyns.alloc()
+	d.Sec = sec
+	d.Idx = len(sec.Insts)
+	d.IP = sec.fetchIP
+	d.In = in
+	d.Level = sec.curLevel
+	d.class = in.Classify()
+	d.tFD = m.cycle
 	sec.Insts = append(sec.Insts, d)
-	c.renameQ = append(c.renameQ, d)
+	c.renameQ.Push(d)
 	c.fetched++
 	m.progress++
 	next := sec.fetchIP + 1
@@ -91,21 +90,22 @@ func (m *Machine) stageFD(c *Core) {
 	}
 	rd := func(r isa.Reg) uint64 { return c.rf[r].v }
 	markEmpty := func() {
-		for _, r := range dedupRegs(in.RegWrites(nil)) {
+		for _, r := range m.regWriteSet(in) {
 			c.rf[r] = val{}
 		}
 	}
 
 	switch d.class {
 	case isa.ClassSimple:
-		reads := dedupRegs(in.RegReads(nil))
+		reads := m.regReads(in)
 		if full(reads) {
-			out, err := evalRegCompute(in, rd)
-			if err != nil {
+			var out regWrites
+			if err := evalRegCompute(in, rd, &out); err != nil {
 				m.err = fmt.Errorf("machine: ip=%d (%s): %v", d.IP, in, err)
 				return
 			}
-			for r, v := range out {
+			for i := 0; i < out.n; i++ {
+				r, v := out.reg[i], out.val[i]
 				d.setReg(r, v, m.cycle)
 				c.rf[r] = val{v: v, full: true}
 			}
@@ -182,11 +182,11 @@ func (m *Machine) stageFD(c *Core) {
 // hasFetchWork reports whether an idle (or stalled) fetch stage has something
 // else it could usefully fetch.
 func (m *Machine) hasFetchWork(c *Core) bool {
-	if len(c.pending) > 0 && c.pending[0].deliverAt < m.cycle {
+	if !c.pending.Empty() && c.pending.Front().deliverAt < m.cycle {
 		return true
 	}
-	for _, s := range c.suspended {
-		if m.branchResumable(s.stalled) {
+	for i, n := 0, c.suspended.Len(); i < n; i++ {
+		if m.branchResumable(c.suspended.At(i).stalled) {
 			return true
 		}
 	}
@@ -197,10 +197,11 @@ func (m *Machine) hasFetchWork(c *Core) bool {
 // suspended section whose stalled branch has resolved, then the head of the
 // section-creation FIFO (a message is consumed the cycle after delivery).
 func (m *Machine) pickSection(c *Core) {
-	for i, s := range c.suspended {
+	for i, n := 0, c.suspended.Len(); i < n; i++ {
+		s := c.suspended.At(i)
 		d := s.stalled
 		if m.branchResumable(d) {
-			c.suspended = append(c.suspended[:i], c.suspended[i+1:]...)
+			c.suspended.Remove(i)
 			s.fetchIP = d.nextIP
 			s.stalled = nil
 			c.rf = s.rfSave // fetch RF as saved at suspension
@@ -209,9 +210,8 @@ func (m *Machine) pickSection(c *Core) {
 			return
 		}
 	}
-	if len(c.pending) > 0 && c.pending[0].deliverAt < m.cycle {
-		msg := c.pending[0]
-		c.pending = c.pending[1:]
+	if !c.pending.Empty() && c.pending.Front().deliverAt < m.cycle {
+		msg := c.pending.Pop()
 		m.pendingCreates--
 		sec := msg.sec
 		for r := isa.Reg(0); r < isa.NumRegs; r++ {
@@ -236,7 +236,8 @@ func (m *Machine) doFork(c *Core, sec *Section, d *DynInst) {
 		if c.rf[r].full {
 			created.init[r] = c.rf[r]
 		} else {
-			d.pendingCopy = append(d.pendingCopy, r)
+			d.pendingCopy[d.nPending] = r
+			d.nPending++
 		}
 	}
 	d.createdSec = created
@@ -247,59 +248,60 @@ func (m *Machine) doFork(c *Core, sec *Section, d *DynInst) {
 
 // --------------------------------------------------------------- rename ----
 
+// ratLookup returns the section's current producer for register r, creating
+// the creation-copy constant or the request-backed cache slot on a miss
+// (§4.2: a missing source allocates a caching destination and sends a
+// renaming request backwards along the section order).
+func (m *Machine) ratLookup(sec *Section, r isa.Reg, d *DynInst) *producer {
+	p := &sec.rat[r]
+	if !p.valid() {
+		if sec.init[r].full {
+			*p = m.constProd(sec.init[r].v, sec.firstFetch)
+		} else {
+			sl := m.slots.alloc()
+			*p = slotProd(sl)
+			m.addRequest(reqReg, r, 0, d, sl)
+		}
+	}
+	return p
+}
+
 // stageRR implements the register-rename stage: one instruction per cycle,
 // in fetch order. Sources that miss in the section's RAT and have no fork
 // copy allocate a cache slot and send a renaming request backwards along the
 // section order (§4.2, "Register renaming").
 func (m *Machine) stageRR(c *Core) {
-	if len(c.renameQ) == 0 {
+	if c.renameQ.Empty() {
 		return
 	}
-	d := c.renameQ[0]
+	d := c.renameQ.Front()
 	if d.tFD >= m.cycle {
 		return
 	}
-	c.renameQ = c.renameQ[1:]
+	c.renameQ.Pop()
 	sec := d.Sec
 
 	needsSources := !d.computedAtFetch || d.isMem()
 	if needsSources {
-		aRegs := addrRegs(d.In)
-		for _, r := range dedupRegs(d.In.RegReads(nil)) {
-			p := sec.rat[r]
-			if p == nil {
-				if sec.init[r].full {
-					p = filledSlot(sec.init[r].v, sec.firstFetch)
-					sec.rat[r] = p
-				} else {
-					sl := newSlot()
-					sec.rat[r] = sl
-					m.addRequest(reqReg, r, 0, d, sl)
-					p = sl
-				}
+		aRegs := d.In.AddrRegs()
+		for _, r := range m.regReads(d.In) {
+			p := m.ratLookup(sec, r, d)
+			if d.nsrcs == maxSrcs {
+				m.err = fmt.Errorf("machine: ip=%d (%s): more than %d register sources", d.IP, d.In, maxSrcs)
+				return
 			}
-			d.srcs = append(d.srcs, srcRef{reg: r, prod: p, addr: aRegs[r]})
+			d.srcs[d.nsrcs] = srcRef{reg: r, prod: *p, addr: aRegs.Has(r)}
+			d.nsrcs++
 		}
 	}
-	for _, r := range dedupRegs(d.In.RegWrites(nil)) {
-		sec.rat[r] = regProd{inst: d, reg: r}
+	for _, r := range m.regWriteSet(d.In) {
+		sec.rat[r] = regProd(d, r)
 	}
-	if d.In.Op == isa.FORK && len(d.pendingCopy) > 0 {
+	if d.In.Op == isa.FORK && d.nPending > 0 {
 		// Deferred non-volatile copies: link the created section to the
 		// creator's current producers.
-		for _, r := range d.pendingCopy {
-			p := sec.rat[r]
-			if p == nil {
-				if sec.init[r].full {
-					p = filledSlot(sec.init[r].v, sec.firstFetch)
-				} else {
-					sl := newSlot()
-					m.addRequest(reqReg, r, 0, d, sl)
-					p = sl
-				}
-				sec.rat[r] = p
-			}
-			d.createdSec.rat[r] = p
+		for _, r := range d.pendingCopy[:d.nPending] {
+			d.createdSec.rat[r] = *m.ratLookup(sec, r, d)
 		}
 	}
 	d.tRR = m.cycle
@@ -307,7 +309,7 @@ func (m *Machine) stageRR(c *Core) {
 	m.progress++
 	if d.isMem() {
 		sec.memOps++
-		sec.arQ = append(sec.arQ, d)
+		sec.arQ.Push(d)
 	}
 	c.iq = append(c.iq, d)
 }
@@ -324,7 +326,16 @@ func (m *Machine) stageRR(c *Core) {
 func (m *Machine) stageEW(c *Core) {
 	best := -1
 	for i, d := range c.iq {
-		if m.ewWake(d) > m.cycle {
+		// Fast paths: a known-blocked instruction costs one load, a cached
+		// wake one comparison; ewWake handles the rest.
+		if d.ewBlocked() {
+			continue
+		}
+		w := d.ewWakeAt
+		if w == 0 {
+			w = m.ewWake(d)
+		}
+		if w > m.cycle {
 			continue
 		}
 		if best < 0 || older(d, c.iq[best]) {
@@ -335,7 +346,7 @@ func (m *Machine) stageEW(c *Core) {
 		return
 	}
 	d := c.iq[best]
-	c.iq = append(c.iq[:best], c.iq[best+1:]...)
+	swapRemove(&c.iq, best)
 	d.tEW = m.cycle
 	m.progress++
 
@@ -343,12 +354,12 @@ func (m *Machine) stageEW(c *Core) {
 		d.addr = d.effectiveAddr()
 		// The register half of push/pop, if not computed at fetch.
 		if d.In.Op == isa.PUSH {
-			if d.regAt[isa.RSP] == 0 {
+			if !d.regWritten(isa.RSP) {
 				d.setReg(isa.RSP, d.srcValue(isa.RSP)-8, m.cycle)
 			}
 		}
 		if d.In.Op == isa.POP {
-			if d.regAt[isa.RSP] == 0 {
+			if !d.regWritten(isa.RSP) {
 				d.setReg(isa.RSP, d.srcValue(isa.RSP)+8, m.cycle)
 			}
 		}
@@ -369,13 +380,13 @@ func (m *Machine) stageEW(c *Core) {
 	case isa.NOP, isa.JMP, isa.FORK, isa.ENDFORK, isa.HLT:
 		d.resolved = true
 	default:
-		out, err := evalRegCompute(d.In, d.srcValue)
-		if err != nil {
+		var out regWrites
+		if err := evalRegCompute(d.In, d.srcValue, &out); err != nil {
 			m.err = fmt.Errorf("machine: ip=%d (%s): %v", d.IP, d.In, err)
 			return
 		}
-		for r, v := range out {
-			d.setReg(r, v, m.cycle)
+		for i := 0; i < out.n; i++ {
+			d.setReg(out.reg[i], out.val[i], m.cycle)
 		}
 	}
 }
@@ -386,10 +397,10 @@ func (m *Machine) stageEW(c *Core) {
 // this cycle (its execute-write-back, which computes the address, is
 // strictly older), or nil.
 func (m *Machine) arHead(s *Section) *DynInst {
-	if len(s.arQ) == 0 {
+	if s.arQ.Empty() {
 		return nil
 	}
-	h := s.arQ[0]
+	h := s.arQ.Front()
 	if h.tEW == 0 || h.tEW >= m.cycle {
 		return nil
 	}
@@ -398,20 +409,20 @@ func (m *Machine) arHead(s *Section) *DynInst {
 
 // arApply renames the address of sec's AR head d on its hosting core.
 func (m *Machine) arApply(c *Core, sec *Section, d *DynInst) {
-	sec.arQ = sec.arQ[1:]
+	sec.arQ.Pop()
 
 	if _, reads := d.In.MemRead(); reads {
-		p := sec.maat[d.addr]
-		if p == nil {
-			sl := newSlot()
-			sec.maat[d.addr] = sl
+		if p := sec.maat.get(d.addr); p != nil {
+			d.memSrc = *p
+		} else {
+			sl := m.slots.alloc()
+			d.memSrc = slotProd(sl)
+			m.maatPut(&sec.maat, d.addr, d.memSrc)
 			m.addRequest(reqMem, 0, d.addr, d, sl)
-			p = sl
 		}
-		d.memSrc = p
 	}
 	if _, writes := d.In.MemWrite(); writes {
-		sec.maat[d.addr] = memProd{inst: d}
+		m.maatPut(&sec.maat, d.addr, memProd(d))
 	}
 	d.tAR = m.cycle
 	sec.memRen++
@@ -455,7 +466,14 @@ func (m *Machine) stageAR(c *Core) {
 func (m *Machine) stageMA(c *Core) {
 	best := -1
 	for i, d := range c.lsq {
-		if m.maWake(d) > m.cycle {
+		if d.maBlocked() {
+			continue
+		}
+		w := d.maWakeAt
+		if w == 0 {
+			w = m.maWake(d)
+		}
+		if w > m.cycle {
 			continue
 		}
 		if best < 0 || older(d, c.lsq[best]) {
@@ -466,9 +484,9 @@ func (m *Machine) stageMA(c *Core) {
 		return
 	}
 	d := c.lsq[best]
-	c.lsq = append(c.lsq[:best], c.lsq[best+1:]...)
+	swapRemove(&c.lsq, best)
 	var mv uint64
-	if d.memSrc != nil {
+	if d.memSrc.valid() {
 		mv = d.memSrc.value()
 	}
 	if err := d.evalMemAccess(mv, m.cycle); err != nil {
