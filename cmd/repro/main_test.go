@@ -289,7 +289,7 @@ func TestCmdBenchSimSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out, "bench-machine-v1") {
+	if !strings.Contains(out, "bench-machine-v2") {
 		t.Errorf("bench-sim -verify output:\n%s", out)
 	}
 	if err := cmdBenchSim([]string{"-verify", filepath.Join(dir, "missing.json")}); err == nil {

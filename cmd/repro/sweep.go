@@ -6,6 +6,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/machine"
 	"repro/internal/pbbs"
 	"repro/internal/sweep"
 )
@@ -43,7 +44,13 @@ func cmdSweep(args []string) error {
 	baseline := fs.String("baseline", "", "baseline sweep JSONL to diff against")
 	against := fs.String("against", "", "diff -baseline against this sweep file instead of running")
 	dense := fs.Bool("dense", false, "use the reference dense scheduler instead of idle-skip")
+	simWorkers := fs.String("sim-workers", "1", "parallel-scheduler goroutines per simulation (\"auto\" = GOMAXPROCS; results are bit-identical for every value)")
+	pool := fs.Bool("machine-pool", true, "reuse warmed machines across points that differ only in inputs")
 	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	sw, err := parseSimWorkers(*simWorkers)
+	if err != nil {
 		return err
 	}
 
@@ -89,7 +96,10 @@ func cmdSweep(args []string) error {
 		return err
 	}
 
-	eng := &sweep.Engine{Workers: *workers, Dense: *dense}
+	eng := &sweep.Engine{Workers: *workers, Dense: *dense, SimWorkers: sw}
+	if *pool {
+		eng.Pool = machine.NewPool()
+	}
 	if *cacheDir != "" {
 		if eng.Cache, err = sweep.NewCache(*cacheDir); err != nil {
 			return err

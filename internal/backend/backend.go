@@ -74,14 +74,22 @@ type Backend interface {
 	Run(prog *isa.Program, in Inputs, captureTrace bool) (*Result, error)
 }
 
-// writer is the injection target: both emu.Memory and the machine DMH
+// Writer is the injection target: both emu.Memory and the machine DMH
 // implement it.
-type writer interface {
+type Writer interface {
 	WriteU64(addr, v uint64)
 }
 
+// Inject writes the inputs at their symbol addresses. It is exported for
+// callers that manage machine lifetimes themselves — the warm-machine pool in
+// internal/sweep re-injects inputs after Machine.Reset exactly as a fresh
+// construction would.
+func Inject(prog *isa.Program, mem Writer, in Inputs) error {
+	return inject(prog, mem, in)
+}
+
 // inject writes the inputs at their symbol addresses.
-func inject(prog *isa.Program, mem writer, in Inputs) error {
+func inject(prog *isa.Program, mem Writer, in Inputs) error {
 	for sym, words := range in {
 		addr, ok := prog.DataAddr(sym)
 		if !ok {

@@ -96,6 +96,75 @@ func TestSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestSteadyStateAllocsThroughPool re-checks the allocation contract through
+// the warm-machine pool: a Get-hit (Reset + re-arm), injection, run and Put
+// cycle must stay within the same budget as a bare Reset re-run — the pool
+// adds bookkeeping, not per-cycle allocation.
+func TestSteadyStateAllocsThroughPool(t *testing.T) {
+	k, err := pbbs.Find("duplicates")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := k.ClampN(64)
+	prog, err := k.Build(n, minic.ModeFork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := k.Gen(n, 1)
+	want := k.Ref(n, in)
+
+	cfg := machine.DefaultConfig(16)
+	pool := machine.NewPool()
+	warmM, err := pool.Get("alloc", prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inject(t, warmM, prog, in)
+	warm, err := warmM.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.RAX != want {
+		t.Fatalf("checksum %d, reference %d", warm.RAX, want)
+	}
+	pool.Put("alloc", warmM)
+
+	var runErr error
+	avg := testing.AllocsPerRun(3, func() {
+		m, err := pool.Get("alloc", prog, cfg)
+		if err != nil {
+			runErr = err
+			return
+		}
+		for sym, words := range in {
+			addr, _ := prog.DataAddr(sym)
+			for i, w := range words {
+				m.DMH().WriteU64(addr+uint64(8*i), w)
+			}
+		}
+		res, err := m.Run()
+		if err != nil {
+			runErr = err
+			return
+		}
+		pool.Put("alloc", m)
+		if res.RAX != want || res.Cycles != warm.Cycles {
+			runErr = errMismatch
+		}
+	})
+	if runErr != nil {
+		t.Fatalf("pooled re-run failed: %v", runErr)
+	}
+	if s := pool.Stats(); s.Hits < 4 {
+		t.Fatalf("pool stats %+v: the measured loop was not running on pool hits", s)
+	}
+	t.Logf("%.0f allocs per pooled run over %d cycles", avg, warm.Cycles)
+	if avg > steadyAllocBudget {
+		t.Errorf("pooled run allocated %.0f times (budget %d) — Get/Put is no longer allocation-free",
+			avg, steadyAllocBudget)
+	}
+}
+
 var errMismatch = errString("warmed re-run produced a different result")
 
 type errString string

@@ -1,10 +1,17 @@
 // Package bench times the cycle-level machine simulator itself — not the
 // simulated chip. It reproduces no paper material: it is infrastructure
 // guarding the speed of the §4 model that every scaling study (Figs. 8–10)
-// runs on. It runs a fixed kernel × core-count grid under both
-// schedulers (the reference dense loop and the idle-skip scheduler), verifies
-// on every point that the two produce bit-identical simulation results, and
+// runs on. It runs a fixed kernel × core-count grid under the simulator's
+// schedulers (the reference dense loop, the idle-skip scheduler, and the
+// parallel phase scheduler when the grid asks for one), verifies on every
+// point that all of them produce bit-identical simulation results, and
 // reports wall time and nanoseconds per simulated cycle for each.
+//
+// Beyond the small standard trio the grid carries paper-scale big-N points
+// (dataset sizes in the thousands on 64 cores). Those skip the dense leg —
+// the dense loop's per-core, per-cycle scans make it minutes-slow out there,
+// which is exactly why idle-skip exists — and are timed once: a multi-second
+// simulation does not need best-of-three to be noise-immune.
 //
 // `repro bench-sim` serialises the report to BENCH_machine.json, the
 // checked-in performance trajectory every future change to the simulator's
@@ -24,8 +31,10 @@ import (
 	"repro/internal/pbbs"
 )
 
-// Schema identifies the BENCH_machine.json format.
-const Schema = "bench-machine-v1"
+// Schema identifies the BENCH_machine.json format. v2 adds the parallel
+// phase-scheduler leg (parallelNs, parSpeedup, simWorkers per point) and the
+// big-N points, which carry no dense figures.
+const Schema = "bench-machine-v2"
 
 // Grid describes the benchmark grid.
 type Grid struct {
@@ -44,6 +53,22 @@ type Grid struct {
 	// minimum wall time is reported, the usual defence against scheduling
 	// noise.
 	Runs int
+	// SimWorkers is the goroutine count of the parallel phase scheduler's
+	// timing leg; <= 1 skips that leg. Results are bit-identical to the
+	// sequential schedulers for every value (Measure verifies this on each
+	// point), so the leg only adds wall-clock columns.
+	SimWorkers int
+	// BigNs are paper-scale dataset sizes timed for BigNKernels × BigNCores
+	// in addition to the standard grid. Big-N points skip the dense leg
+	// (minutes-slow at these sizes) and are timed once regardless of Runs —
+	// a multi-second simulation is noise-immune without best-of-k.
+	BigNs []int
+	// BigNKernels selects the big-N kernels (pbbs selectors). Empty means
+	// quickSort, the fork-heavy kernel with real section churn at scale.
+	BigNKernels []string
+	// BigNCores are the big-N core counts. Empty means {64}, the
+	// many-core regime the paper's scaling studies live in.
+	BigNCores []int
 }
 
 // DefaultGrid returns the standard trajectory grid: a fork-heavy kernel
@@ -53,27 +78,38 @@ type Grid struct {
 // section scans dominate).
 func DefaultGrid() Grid {
 	return Grid{
-		Kernels: []string{"quicksort", "duplicates", "kruskal"},
-		N:       64,
-		Cores:   []int{1, 16, 64},
-		Seed:    1,
-		Runs:    3,
+		Kernels:    []string{"quicksort", "duplicates", "kruskal"},
+		N:          64,
+		Cores:      []int{1, 16, 64},
+		Seed:       1,
+		Runs:       3,
+		SimWorkers: 4,
+		// 512 and 1024 are seconds-to-a-minute on a single-CPU host; 2048
+		// already costs minutes, too slow for a checked-in trajectory.
+		BigNs: []int{512, 1024},
 	}
 }
 
-// QuickGrid returns a seconds-scale grid for CI smoke runs.
+// QuickGrid returns a seconds-scale grid for CI smoke runs. It keeps one
+// big-N point (quickSort n=512 on 64 cores) and the parallel leg, so the
+// smoke run exercises every scheduler and the paper-scale regime — and its
+// points all have DefaultGrid counterparts, so -against a full-grid baseline
+// judges each of them.
 func QuickGrid() Grid {
 	return Grid{
-		Kernels: []string{"duplicates"},
-		N:       64,
-		Cores:   []int{1, 64},
-		Seed:    1,
-		Runs:    1,
+		Kernels:    []string{"duplicates"},
+		N:          64,
+		Cores:      []int{1, 64},
+		Seed:       1,
+		Runs:       1,
+		SimWorkers: 4,
+		BigNs:      []int{512},
 	}
 }
 
 // Point is one measured grid point: one kernel at one core count, simulated
-// under both schedulers.
+// under each scheduler the grid enables. Big-N points carry no dense figures
+// (DenseNs and friends stay 0).
 type Point struct {
 	Kernel       string `json:"kernel"`
 	N            int    `json:"n"`
@@ -93,6 +129,17 @@ type Point struct {
 	// Speedup is DenseNsPerCycle / IdleSkipNsPerCycle (the cycle counts are
 	// identical by construction, so this equals the wall-time ratio).
 	Speedup float64 `json:"speedup"`
+	// SimWorkers is the goroutine count of the parallel leg; 0 means the leg
+	// was not run and the three parallel figures below are absent.
+	SimWorkers int `json:"simWorkers,omitempty"`
+	// ParallelNs is the best-of-Runs wall time under the parallel phase
+	// scheduler, ParallelNsPerCycle the per-cycle figure, and ParSpeedup the
+	// serial-vs-parallel wall-clock ratio IdleSkipNs / ParallelNs (> 1 means
+	// the goroutines paid off; expect < 1 on a single-CPU host, where the
+	// leg measures pure coordination overhead).
+	ParallelNs         int64   `json:"parallelNs,omitempty"`
+	ParallelNsPerCycle float64 `json:"parallelNsPerCycle,omitempty"`
+	ParSpeedup         float64 `json:"parSpeedup,omitempty"`
 }
 
 // Report is the serialised benchmark outcome.
@@ -112,14 +159,71 @@ type Report struct {
 	Runs       int     `json:"runs"`
 	Points     []Point `json:"points"`
 	// Aggregates over the whole grid: total wall time divided by total
-	// simulated cycles, per scheduler, and the total wall-time ratio.
+	// simulated cycles, per scheduler, and the total wall-time ratio. The
+	// dense aggregates cover only the points that ran the dense leg (big-N
+	// points skip it); the parallel ones only the points that ran the
+	// parallel leg, with ParSpeedup the idle-skip/parallel wall-time ratio
+	// over those points.
 	DenseNsPerCycle    float64 `json:"denseNsPerCycle"`
 	IdleSkipNsPerCycle float64 `json:"idleSkipNsPerCycle"`
 	Speedup            float64 `json:"speedup"`
+	ParallelNsPerCycle float64 `json:"parallelNsPerCycle,omitempty"`
+	ParSpeedup         float64 `json:"parSpeedup,omitempty"`
 }
 
-// Measure runs the grid and builds the report. Every point cross-checks the
-// two schedulers: differing cycles, instruction counts, checksums or NoC
+// benchCase is one (kernel, n) of the grid with the core counts to sweep:
+// the program and inputs are built once per case.
+type benchCase struct {
+	k     *pbbs.Kernel
+	n     int
+	cores []int
+	runs  int
+	// dense selects whether the reference dense leg runs; big-N cases skip
+	// it (minutes-slow) and use idle-skip as the point's oracle instead.
+	dense bool
+}
+
+// cases expands the grid into its measurement cases: the standard kernel ×
+// core grid at g.N, then the big-N cases.
+func (g Grid) cases() ([]benchCase, error) {
+	sel := strings.Join(g.Kernels, ",")
+	if sel == "" {
+		sel = strings.Join(DefaultGrid().Kernels, ",")
+	}
+	ks, err := pbbs.FindAll(sel)
+	if err != nil {
+		return nil, err
+	}
+	var out []benchCase
+	for _, k := range ks {
+		out = append(out, benchCase{k: k, n: g.N, cores: g.Cores, runs: g.Runs, dense: true})
+	}
+	if len(g.BigNs) == 0 {
+		return out, nil
+	}
+	bigSel := strings.Join(g.BigNKernels, ",")
+	if bigSel == "" {
+		bigSel = "quicksort"
+	}
+	bigKs, err := pbbs.FindAll(bigSel)
+	if err != nil {
+		return nil, err
+	}
+	bigCores := g.BigNCores
+	if len(bigCores) == 0 {
+		bigCores = []int{64}
+	}
+	for _, k := range bigKs {
+		for _, n := range g.BigNs {
+			out = append(out, benchCase{k: k, n: n, cores: bigCores, runs: 1, dense: false})
+		}
+	}
+	return out, nil
+}
+
+// Measure runs the grid and builds the report. Every point cross-checks all
+// of its scheduler legs against the first one (dense where it runs, idle-skip
+// on big-N points): differing cycles, instruction counts, checksums or NoC
 // message totals are an error, so timing numbers are only ever produced for
 // verified-identical simulations.
 func Measure(g Grid) (*Report, error) {
@@ -135,11 +239,7 @@ func Measure(g Grid) (*Report, error) {
 	if g.Seed == 0 {
 		g.Seed = 1
 	}
-	sel := strings.Join(g.Kernels, ",")
-	if sel == "" {
-		sel = strings.Join(DefaultGrid().Kernels, ",")
-	}
-	ks, err := pbbs.FindAll(sel)
+	cases, err := g.cases()
 	if err != nil {
 		return nil, err
 	}
@@ -152,24 +252,48 @@ func Measure(g Grid) (*Report, error) {
 		Gomaxprocs: runtime.GOMAXPROCS(0),
 		Runs:       g.Runs,
 	}
-	var denseNs, skipNs, cycles int64
-	for _, k := range ks {
-		n := k.ClampN(g.N)
+	// Aggregate accumulators. The dense and parallel legs do not run on
+	// every point, so their ratios are computed against the idle-skip time
+	// of exactly the points they ran on.
+	var skipNs, cycles int64
+	var denseNs, denseIdleNs, denseCycles int64
+	var parNs, parIdleNs, parCycles int64
+	for _, bc := range cases {
+		k := bc.k
+		n := k.ClampN(bc.n)
 		prog, err := k.Build(n, minic.ModeFork)
 		if err != nil {
 			return nil, fmt.Errorf("bench: %s: %w", k.Name, err)
 		}
 		in := k.Gen(n, g.Seed)
 		want := k.Ref(n, in)
-		for _, cores := range g.Cores {
+		for _, cores := range bc.cores {
 			pt := Point{Kernel: k.Name, N: n, Cores: cores}
-			for run := 0; run < g.Runs; run++ {
-				for _, dense := range []bool{true, false} {
+			// The legs of this point, in oracle-first order: every later leg
+			// is cross-checked against the first one's results.
+			type leg struct {
+				name    string
+				dense   bool
+				workers int
+				best    *int64
+			}
+			var legs []leg
+			if bc.dense {
+				legs = append(legs, leg{"dense", true, 0, &pt.DenseNs})
+			}
+			legs = append(legs, leg{"idle-skip", false, 0, &pt.IdleSkipNs})
+			if g.SimWorkers > 1 {
+				pt.SimWorkers = g.SimWorkers
+				legs = append(legs, leg{"parallel", false, g.SimWorkers, &pt.ParallelNs})
+			}
+			for run := 0; run < bc.runs; run++ {
+				for _, l := range legs {
 					// The paper-calibrated default config (shortcut on,
 					// 2-cycle creates) — the same machine every other entry
 					// point simulates — with only the scheduler varied.
 					mb := backend.NewMachine(cores)
-					mb.Cfg.Dense = dense
+					mb.Cfg.Dense = l.dense
+					mb.Cfg.SimWorkers = l.workers
 					// Collect the previous simulation's garbage outside the
 					// timed window, so each timing reflects its own run, not
 					// the backlog of whichever scheduler happened to go
@@ -179,52 +303,62 @@ func Measure(g Grid) (*Report, error) {
 					res, err := mb.Run(prog, in, false)
 					ns := time.Since(start).Nanoseconds()
 					if err != nil {
-						return nil, fmt.Errorf("bench: %s c%d dense=%v: %w", k.Name, cores, dense, err)
+						return nil, fmt.Errorf("bench: %s c%d %s: %w", k.Name, cores, l.name, err)
 					}
 					mr := res.Machine
 					if mr.RAX != want {
-						return nil, fmt.Errorf("bench: %s c%d dense=%v: checksum %d, reference %d",
-							k.Name, cores, dense, mr.RAX, want)
+						return nil, fmt.Errorf("bench: %s c%d %s: checksum %d, reference %d",
+							k.Name, cores, l.name, mr.RAX, want)
 					}
-					if dense {
-						if pt.DenseNs == 0 || ns < pt.DenseNs {
-							pt.DenseNs = ns
-						}
+					if *l.best == 0 || ns < *l.best {
+						*l.best = ns
+					}
+					if pt.Cycles == 0 {
 						pt.Sections = len(mr.Sections)
 						pt.Instructions = mr.Instructions
 						pt.Cycles = mr.Cycles
 						pt.NocMessages = mr.NocMessages()
-						continue
-					}
-					if pt.IdleSkipNs == 0 || ns < pt.IdleSkipNs {
-						pt.IdleSkipNs = ns
-					}
-					// The cross-check: idle-skip must match the dense oracle
-					// (the dense run of this iteration always came first).
-					if mr.Cycles != pt.Cycles || mr.Instructions != pt.Instructions ||
+					} else if mr.Cycles != pt.Cycles || mr.Instructions != pt.Instructions ||
 						mr.NocMessages() != pt.NocMessages {
 						return nil, fmt.Errorf(
-							"bench: %s c%d: idle-skip diverges from dense (cycles %d vs %d, instr %d vs %d, noc %d vs %d)",
-							k.Name, cores, mr.Cycles, pt.Cycles, mr.Instructions, pt.Instructions,
-							mr.NocMessages(), pt.NocMessages)
+							"bench: %s c%d: %s diverges from the %s oracle (cycles %d vs %d, instr %d vs %d, noc %d vs %d)",
+							k.Name, cores, l.name, legs[0].name, mr.Cycles, pt.Cycles,
+							mr.Instructions, pt.Instructions, mr.NocMessages(), pt.NocMessages)
 					}
 				}
 			}
-			pt.DenseNsPerCycle = float64(pt.DenseNs) / float64(pt.Cycles)
 			pt.IdleSkipNsPerCycle = float64(pt.IdleSkipNs) / float64(pt.Cycles)
-			pt.Speedup = pt.DenseNsPerCycle / pt.IdleSkipNsPerCycle
-			denseNs += pt.DenseNs
 			skipNs += pt.IdleSkipNs
 			cycles += pt.Cycles
+			if pt.DenseNs > 0 {
+				pt.DenseNsPerCycle = float64(pt.DenseNs) / float64(pt.Cycles)
+				pt.Speedup = pt.DenseNsPerCycle / pt.IdleSkipNsPerCycle
+				denseNs += pt.DenseNs
+				denseIdleNs += pt.IdleSkipNs
+				denseCycles += pt.Cycles
+			}
+			if pt.ParallelNs > 0 {
+				pt.ParallelNsPerCycle = float64(pt.ParallelNs) / float64(pt.Cycles)
+				pt.ParSpeedup = float64(pt.IdleSkipNs) / float64(pt.ParallelNs)
+				parNs += pt.ParallelNs
+				parIdleNs += pt.IdleSkipNs
+				parCycles += pt.Cycles
+			}
 			rep.Points = append(rep.Points, pt)
 		}
 	}
 	if cycles > 0 {
-		rep.DenseNsPerCycle = float64(denseNs) / float64(cycles)
 		rep.IdleSkipNsPerCycle = float64(skipNs) / float64(cycles)
 	}
-	if skipNs > 0 {
-		rep.Speedup = float64(denseNs) / float64(skipNs)
+	if denseCycles > 0 {
+		rep.DenseNsPerCycle = float64(denseNs) / float64(denseCycles)
+	}
+	if denseIdleNs > 0 {
+		rep.Speedup = float64(denseNs) / float64(denseIdleNs)
+	}
+	if parNs > 0 {
+		rep.ParallelNsPerCycle = float64(parNs) / float64(parCycles)
+		rep.ParSpeedup = float64(parIdleNs) / float64(parNs)
 	}
 	return rep, nil
 }
@@ -257,22 +391,40 @@ func Load(path string) (*Report, error) {
 	return &r, nil
 }
 
-// Table renders the report as an aligned text table.
+// Table renders the report as an aligned text table. Legs a point did not
+// run (dense on big-N points, parallel when the grid disables it) print "-".
 func (r *Report) Table() string {
+	ms := func(ns int64) string {
+		if ns == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.2f", float64(ns)/1e6)
+	}
+	ratio := func(v float64) string {
+		if v == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.2fx", v)
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-28s %5s %6s %5s %10s %11s %11s %10s %10s %7s\n",
-		"benchmark", "n", "cores", "secs", "cycles", "dense-ms", "idle-ms", "dense-ns/c", "idle-ns/c", "speedup")
+	fmt.Fprintf(&b, "%-28s %5s %6s %5s %10s %11s %11s %11s %10s %7s %8s\n",
+		"benchmark", "n", "cores", "secs", "cycles", "dense-ms", "idle-ms", "par-ms", "idle-ns/c", "speedup", "par-spd")
 	for _, p := range r.Points {
 		name := p.Kernel
 		if i := strings.IndexByte(name, '/'); i >= 0 {
 			name = name[i+1:]
 		}
-		fmt.Fprintf(&b, "%-28s %5d %6d %5d %10d %11.2f %11.2f %10.1f %10.1f %6.2fx\n",
+		fmt.Fprintf(&b, "%-28s %5d %6d %5d %10d %11s %11s %11s %10.1f %7s %8s\n",
 			name, p.N, p.Cores, p.Sections, p.Cycles,
-			float64(p.DenseNs)/1e6, float64(p.IdleSkipNs)/1e6,
-			p.DenseNsPerCycle, p.IdleSkipNsPerCycle, p.Speedup)
+			ms(p.DenseNs), ms(p.IdleSkipNs), ms(p.ParallelNs),
+			p.IdleSkipNsPerCycle, ratio(p.Speedup), ratio(p.ParSpeedup))
 	}
-	fmt.Fprintf(&b, "aggregate: dense %.1f ns/cycle, idle-skip %.1f ns/cycle, speedup %.2fx (%s, %d cpus, gomaxprocs %d, best of %d)\n",
-		r.DenseNsPerCycle, r.IdleSkipNsPerCycle, r.Speedup, r.GoVersion, r.CPUs, r.Gomaxprocs, r.Runs)
+	fmt.Fprintf(&b, "aggregate: dense %.1f ns/cycle, idle-skip %.1f ns/cycle, speedup %.2fx",
+		r.DenseNsPerCycle, r.IdleSkipNsPerCycle, r.Speedup)
+	if r.ParallelNsPerCycle > 0 {
+		fmt.Fprintf(&b, ", parallel %.1f ns/cycle (par-speedup %.2fx)", r.ParallelNsPerCycle, r.ParSpeedup)
+	}
+	fmt.Fprintf(&b, " (%s, %d cpus, gomaxprocs %d, best of %d)\n",
+		r.GoVersion, r.CPUs, r.Gomaxprocs, r.Runs)
 	return b.String()
 }

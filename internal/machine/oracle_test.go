@@ -1,0 +1,129 @@
+// Three-way scheduler oracle over the full PBBS suite. This lives in the
+// external test package because internal/pbbs imports internal/backend,
+// which imports internal/machine — an in-package test would be an import
+// cycle. The small hand-built workloads' three-way checks (and the
+// scheduler-internals tests) stay in sched_test.go.
+package machine_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/minic"
+	"repro/internal/pbbs"
+)
+
+// oracleWorkers is the parallel scheduler's worker count in the oracle runs:
+// more workers than the host has cores on small CI machines, so the
+// cross-worker interleavings are exercised (and, under -race, watched)
+// regardless of host width.
+const oracleWorkers = 4
+
+// runMachine executes a compiled kernel on one scheduler and returns the
+// full machine result. The program and inputs are built once by the caller
+// and shared across the three schedulers: timing rows carry instruction
+// pointers, so bit-identity is only meaningful against the same compilation.
+func runMachine(t *testing.T, k *pbbs.Kernel, prog *isa.Program, in pbbs.Inputs, n, cores int, dense bool, workers int) *machine.Result {
+	t.Helper()
+	mb := &backend.Machine{Cfg: machine.Config{
+		Cores:         cores,
+		CreateLatency: 2,
+		Shortcut:      true,
+		Dense:         dense,
+		SimWorkers:    workers,
+	}}
+	res, err := mb.Run(prog, in, false)
+	if err != nil {
+		t.Fatalf("%s n=%d cores=%d dense=%v workers=%d: %v", k.Name, n, cores, dense, workers, err)
+	}
+	if want := k.Ref(n, in); res.RAX != want {
+		t.Fatalf("%s n=%d cores=%d: checksum %d, reference %d", k.Name, n, cores, res.RAX, want)
+	}
+	return res.Machine
+}
+
+// sameResult asserts two machine results are bit-identical, down to each
+// instruction's six stage timestamps and each section record.
+func sameResult(t *testing.T, label string, a, b *machine.Result) {
+	t.Helper()
+	if a.Cycles != b.Cycles || a.Instructions != b.Instructions || a.RAX != b.RAX ||
+		a.FetchDone != b.FetchDone || a.RetireDone != b.RetireDone ||
+		a.RegRequests != b.RegRequests || a.MemRequests != b.MemRequests ||
+		a.CreateMessages != b.CreateMessages || a.RequestHops != b.RequestHops ||
+		a.ResponseMessages != b.ResponseMessages || a.DMHAnswers != b.DMHAnswers {
+		t.Errorf("%s: headline metrics differ:\n a: %s\n b: %s", label, a.Summary(), b.Summary())
+	}
+	if a.Regs != b.Regs {
+		t.Errorf("%s: final register files differ", label)
+	}
+	if !reflect.DeepEqual(a.Sections, b.Sections) {
+		t.Errorf("%s: section records differ", label)
+	}
+	if len(a.Timings) != len(b.Timings) {
+		t.Fatalf("%s: %d vs %d timing rows", label, len(a.Timings), len(b.Timings))
+	}
+	for i := range a.Timings {
+		if a.Timings[i] != b.Timings[i] {
+			t.Errorf("%s: timing row %d differs:\n a: %+v\n b: %+v", label, i, a.Timings[i], b.Timings[i])
+			return
+		}
+	}
+}
+
+// TestThreeWayOracle pins the tentpole's exactness claim on the paper's
+// workloads: for every one of the ten PBBS kernels, the dense reference
+// loop, the sequential idle-skip scheduler and the parallel phase scheduler
+// produce bit-identical results — same cycle count, same per-instruction
+// stage timestamps, same NoC accounting, same final architectural state. CI
+// runs this under -race, which also checks the parallel scheduler's phase
+// discipline (no unsynchronized cross-worker access) on real workloads.
+// TestBigNParallelMatches extends the oracle into the paper-scale regime: a
+// quickSort large enough to churn hundreds of sections across 64 cores — the
+// regime the parallel scheduler exists for, where the per-cycle queues are
+// long enough to cross the worker-broadcast threshold organically. The dense
+// leg is skipped (minutes-slow out here); idle-skip is the oracle. -short
+// keeps it to a seconds-scale size.
+func TestBigNParallelMatches(t *testing.T) {
+	k, err := pbbs.Find("quicksort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 512
+	if testing.Short() {
+		n = 128
+	}
+	prog, err := k.Build(n, minic.ModeFork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := k.Gen(n, 1)
+	skip := runMachine(t, k, prog, in, n, 64, false, 0)
+	par := runMachine(t, k, prog, in, n, 64, false, oracleWorkers)
+	sameResult(t, fmt.Sprintf("%s n=%d cores=64 idle-skip vs parallel", k.Name, n), skip, par)
+}
+
+func TestThreeWayOracle(t *testing.T) {
+	for _, k := range pbbs.Kernels() {
+		k := k
+		t.Run(fmt.Sprintf("%02d-%s", k.ID, k.Name), func(t *testing.T) {
+			n := k.ClampN(12)
+			prog, err := k.Build(n, minic.ModeFork)
+			if err != nil {
+				t.Fatalf("%s: %v", k.Name, err)
+			}
+			in := k.Gen(n, 1)
+			for _, cores := range []int{1, 4, 16} {
+				dense := runMachine(t, k, prog, in, n, cores, true, 0)
+				skip := runMachine(t, k, prog, in, n, cores, false, 0)
+				par := runMachine(t, k, prog, in, n, cores, false, oracleWorkers)
+				label := fmt.Sprintf("%s n=%d cores=%d", k.Name, n, cores)
+				sameResult(t, label+" dense vs idle-skip", dense, skip)
+				sameResult(t, label+" idle-skip vs parallel", skip, par)
+			}
+		})
+	}
+}

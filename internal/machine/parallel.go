@@ -1,0 +1,253 @@
+package machine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file implements the parallel phase scheduler (Config.SimWorkers > 1):
+// the idle-skip scheduler with its per-cycle work split into a parallel
+// SELECT phase and a serial APPLY phase.
+//
+// Why this shape is exact. Every readiness test in the machine compares a
+// stored timestamp against the strictly-older boundary (`t < m.cycle` /
+// `t >= m.cycle`): a value produced in the current cycle never satisfies a
+// consumer in the same cycle. Stage selection — which instruction the
+// execute-write-back and memory-access stages issue, whether a head can
+// retire or address-rename — is therefore a pure function of cycle-start
+// state, invariant to the order the cycle's effects are applied in. That
+// makes the expensive part of each cycle, the O(queue-length) issue scans
+// over every core's issue and load-store queues, embarrassingly parallel:
+// workers own a static stride partition of the cores (worker k scans cores
+// k, k+W, …), read shared producer cells freely (no cell is written during
+// the phase) and write only their own cores' picks and the scanned
+// instructions' write-once wake caches (an instruction lives in exactly one
+// core's queue, so no cell is contended).
+//
+// Applying the effects is NOT independent per core, and not only through the
+// NoC: besides the modelled messages (section-creation messages into another
+// core's FIFO, renaming-request hops and responses), a fork links the created
+// section's alias table directly to the creator's producers at rename, the
+// section total order is renumbered on insertion, and the oldest section's
+// dump commits to the shared DMH. So the apply phase runs serially, in core
+// order, executing exactly the statement sequence of the sequential
+// scheduler's cycle body — the barrier is every cycle, and "merge" means
+// replaying the same deterministic order the sequential scheduler uses.
+// Idle-cycle clock jumps parallelize the same way: the per-core half of the
+// wake enumeration is strided across the workers while the coordinator
+// overlaps the global half (sections and requests — state disjoint from the
+// wake caches the workers touch), and clamped minima merge exactly.
+//
+// The three-way oracle tests (sched_test.go, oracle_test.go) pin the
+// bit-identity of dense ≡ idle-skip ≡ parallel down to per-instruction stage
+// timestamps, and CI runs them under -race.
+
+// parallelMinWork is the queued-instruction threshold below which a cycle's
+// select phase runs inline on the coordinator: waking every worker costs two
+// channel operations each, which only pays for itself when the scans are
+// long. Selection is shared code either way, so the switch cannot change
+// results. A variable (not const) so tests can force the broadcast path on
+// small workloads.
+var parallelMinWork = 128
+
+// phaseWorkers is the worker pool of one runParallel invocation: one
+// goroutine per worker, each owning the stride partition {id, id+n, …} of
+// the cores, driven phase-by-phase through per-worker command channels and
+// joined on a WaitGroup barrier.
+type phaseWorkers struct {
+	m     *Machine
+	n     int
+	cmd   []chan phaseOp
+	wakes []int64
+	wg    sync.WaitGroup
+}
+
+type phaseOp uint8
+
+const (
+	opSelect phaseOp = iota + 1 // compute ewSel/maSel for owned cores
+	opWake                      // compute the owned cores' wake minimum
+)
+
+func newPhaseWorkers(m *Machine, n int) *phaseWorkers {
+	p := &phaseWorkers{m: m, n: n, cmd: make([]chan phaseOp, n), wakes: make([]int64, n)}
+	for i := range p.cmd {
+		p.cmd[i] = make(chan phaseOp, 1)
+		go p.worker(i)
+	}
+	return p
+}
+
+// stop terminates the workers. runParallel defers it, so the pool never
+// outlives its run.
+func (p *phaseWorkers) stop() {
+	for _, c := range p.cmd {
+		close(c)
+	}
+}
+
+func (p *phaseWorkers) worker(id int) {
+	for op := range p.cmd[id] {
+		switch op {
+		case opSelect:
+			p.m.selectPhase(id, p.n)
+		case opWake:
+			p.wakes[id] = p.m.nextWakeCores(id, p.n)
+		}
+		p.wg.Done()
+	}
+}
+
+// selectAll runs the select phase over every core and waits for the barrier.
+func (p *phaseWorkers) selectAll() {
+	p.wg.Add(p.n)
+	for _, c := range p.cmd {
+		c <- opSelect
+	}
+	p.wg.Wait()
+}
+
+// nextWake is the parallel counterpart of Machine.nextWake: the per-core
+// halves run on the workers while the coordinator overlaps the global half
+// (they touch disjoint state — see nextWakeGlobal), and the clamped minima
+// merge to exactly the sequential value.
+func (p *phaseWorkers) nextWake() int64 {
+	p.wg.Add(p.n)
+	for _, c := range p.cmd {
+		c <- opWake
+	}
+	w := p.m.nextWakeGlobal()
+	p.wg.Wait()
+	for _, pw := range p.wakes {
+		if pw < w {
+			w = pw
+		}
+	}
+	return w
+}
+
+// selectPhase computes the execute-write-back and memory-access issue picks
+// for cores from, from+stride, … — the parallel scheduler's per-worker share
+// of the select phase, and (with stride 1) its inline small-cycle fallback.
+// A live core's picks match what the sequential scheduler's stage scans
+// would choose, because selection is a pure function of cycle-start state.
+func (m *Machine) selectPhase(from, stride int) {
+	for ci := from; ci < len(m.cores); ci += stride {
+		c := m.cores[ci]
+		c.ewSel, c.maSel = -1, -1
+		if c.live == 0 {
+			continue
+		}
+		c.maSel = m.selectMA(c)
+		c.ewSel = m.selectEW(c)
+	}
+}
+
+// queuedWork counts the instructions resident in issue and load-store queues
+// — the length of the scans the select phase parallelizes, and so the gate
+// for whether waking the workers is worth the synchronization.
+func (m *Machine) queuedWork() int {
+	n := 0
+	for _, c := range m.cores {
+		n += len(c.iq) + len(c.lsq)
+	}
+	return n
+}
+
+// runParallel is the phase scheduler: the idle-skip loop with the issue
+// scans (and, on idle cycles, the per-core wake enumeration) fanned out over
+// SimWorkers goroutines between per-cycle barriers, and every cross-core
+// effect applied serially in the sequential scheduler's exact order. See the
+// file comment for the exactness argument.
+func (m *Machine) runParallel() (*Result, error) {
+	workers := m.cfg.SimWorkers
+	if workers > len(m.cores) {
+		workers = len(m.cores)
+	}
+	if workers < 2 {
+		return m.runIdleSkip()
+	}
+	pw := newPhaseWorkers(m, workers)
+	defer pw.stop()
+
+	acted := true
+	for {
+		if m.err != nil {
+			return nil, m.err
+		}
+		if m.done() {
+			return m.result(), nil
+		}
+		if acted {
+			m.cycle++
+		} else {
+			var next int64
+			if m.queuedWork() >= parallelMinWork {
+				next = pw.nextWake()
+			} else {
+				next = m.nextWake()
+			}
+			if bound := m.lastMove + m.cfg.StallLimit + 1; next > bound {
+				next = bound
+			}
+			if bound := m.cfg.MaxCycles + 1; next > bound {
+				next = bound
+			}
+			m.cycle = next
+		}
+		if m.cycle > m.cfg.MaxCycles {
+			return nil, fmt.Errorf("machine: exceeded %d cycles", m.cfg.MaxCycles)
+		}
+		before, hops := m.progress, m.reqHops
+		m.quietMove = false
+		m.pickHeads()
+		// SELECT: the per-core issue scans, in parallel (or inline when the
+		// queues are too short to amortize the barrier).
+		if m.queuedWork() >= parallelMinWork {
+			pw.selectAll()
+		} else {
+			m.selectPhase(0, 1)
+		}
+		// APPLY: serial, in core order — the same statement order as
+		// runIdleSkip's cycle body, with the stage scans replaced by the
+		// precomputed picks.
+		for _, c := range m.cores {
+			if c.live == 0 {
+				continue
+			}
+			var rp, ap *Section
+			if m.retireGen[c.id] == m.pickGen {
+				rp = m.retirePick[c.id]
+			}
+			if m.arGen[c.id] == m.pickGen {
+				ap = m.arPick[c.id]
+			}
+			if rp == nil && ap == nil && !coreActive(c) {
+				continue
+			}
+			if rp != nil {
+				m.retireApply(rp, rp.Insts[rp.retired])
+			}
+			if c.maSel >= 0 {
+				m.maApply(c, c.maSel)
+			}
+			if ap != nil {
+				m.arApply(c, ap, ap.arQ.Front())
+			}
+			if c.ewSel >= 0 {
+				m.ewApply(c, c.ewSel)
+			}
+			m.stageRR(c)
+			m.stageFD(c)
+		}
+		m.processRequests()
+		m.dumpOldest()
+		acted = m.progress != before || m.reqHops != hops || m.quietMove
+		if m.progress != before {
+			m.lastMove = m.cycle
+		} else if m.cycle-m.lastMove > m.cfg.StallLimit {
+			return nil, fmt.Errorf("machine: no progress for %d cycles at cycle %d: %s",
+				m.cfg.StallLimit, m.cycle, m.stuckReport())
+		}
+	}
+}

@@ -132,6 +132,81 @@ func TestMaatTable(t *testing.T) {
 	}
 }
 
+// TestArenaChunkBoundaries drives an arena across several chunk boundaries —
+// the regime paper-scale (big-N) runs live in, where one simulation allocates
+// thousands of DynInsts — and checks that every handed-out object is distinct,
+// zeroed, and survives a reset/refill cycle without aliasing.
+func TestArenaChunkBoundaries(t *testing.T) {
+	const chunk = 4
+	a := newArena[int64](chunk)
+	const n = chunk*3 + 2 // three full chunks and a partial fourth
+	seen := make(map[*int64]bool, n)
+	for i := 0; i < n; i++ {
+		p := a.alloc()
+		if *p != 0 {
+			t.Fatalf("alloc %d: not zeroed (%d)", i, *p)
+		}
+		if seen[p] {
+			t.Fatalf("alloc %d: pointer handed out twice", i)
+		}
+		seen[p] = true
+		*p = int64(i + 1)
+	}
+	if len(a.chunks) != 4 {
+		t.Fatalf("chunks %d, want 4", len(a.chunks))
+	}
+	a.reset()
+	// The refill must reuse the same chunk storage, scrubbed.
+	for i := 0; i < n; i++ {
+		p := a.alloc()
+		if *p != 0 {
+			t.Fatalf("post-reset alloc %d: stale value %d", i, *p)
+		}
+		if !seen[p] {
+			t.Fatalf("post-reset alloc %d: fresh chunk instead of reuse", i)
+		}
+	}
+	if len(a.chunks) != 4 {
+		t.Fatalf("refill grew the arena to %d chunks", len(a.chunks))
+	}
+}
+
+// TestMaatBigN scales the alias table to thousands of keys — the footprint a
+// paper-scale section can accumulate — across several growth/rehash rounds,
+// then checks the recycle path hands the big backing to the next table.
+func TestMaatBigN(t *testing.T) {
+	m := &Machine{}
+	var tbl maat
+	const n = 5000
+	cell := make([]int64, n)
+	for i := 0; i < n; i++ {
+		m.maatPut(&tbl, uint64(i*8), producer{t: &cell[i]})
+	}
+	if tbl.n != n {
+		t.Fatalf("table count %d, want %d", tbl.n, n)
+	}
+	for i := 0; i < n; i++ {
+		p := tbl.get(uint64(i * 8))
+		if p == nil || p.t != &cell[i] {
+			t.Fatalf("key %d: wrong or missing producer after growth", i*8)
+		}
+	}
+	if got := len(tbl.entries); got < n*4/3 {
+		t.Fatalf("load factor bound violated: %d entries for %d keys", got, n)
+	}
+	m.releaseMaat(&tbl)
+	var tbl2 maat
+	m.acquireMaat(&tbl2)
+	if len(tbl2.entries) < n {
+		t.Fatalf("recycled backing has %d entries, want the big array back", len(tbl2.entries))
+	}
+	for i := range tbl2.entries {
+		if tbl2.entries[i].p.valid() {
+			t.Fatalf("recycled entry %d not scrubbed", i)
+		}
+	}
+}
+
 // TestResetReproduces pins Machine.Reset's contract: a warmed machine re-runs
 // the same program to a bit-identical Result, under both schedulers.
 func TestResetReproduces(t *testing.T) {

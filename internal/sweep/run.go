@@ -44,6 +44,19 @@ type Engine struct {
 	// default idle-skip one. Simulation outcomes are identical either way
 	// (only SimNs/NsPerCycle differ), so the cache key is unaffected.
 	Dense bool
+	// SimWorkers selects the machine's parallel phase scheduler for every
+	// measurement: > 1 runs each simulation's per-core event phases on that
+	// many goroutines (machine.Config.SimWorkers). Like Dense, it changes
+	// only wall-clock metrics — results are bit-identical by the scheduler
+	// oracle — so the cache key is unaffected.
+	SimWorkers int
+	// Pool, when non-nil, serves machines from a warm pool instead of
+	// constructing one per measurement: points sharing a program and
+	// configuration (same kernel, size, cores, topology — only inputs/seed
+	// differing) reuse a Reset machine, amortizing arena setup. Simulation
+	// outcomes are byte-identical with and without the pool (pinned by
+	// TestPooledRunsMatchFresh).
+	Pool *machine.Pool
 
 	mu      sync.Mutex
 	stats   Stats
@@ -172,26 +185,44 @@ func (e *Engine) Measure(p Point) Record {
 	if err != nil {
 		return fail(err)
 	}
-	mb := &backend.Machine{Cfg: machine.Config{
+	cfg := machine.Config{
 		Cores:              p.Cores,
 		Net:                net,
 		CreateLatency:      2,
 		Shortcut:           p.Shortcut,
 		MaxSectionsPerCore: p.MaxSections,
 		Dense:              e.Dense,
-	}}
+		SimWorkers:         e.SimWorkers,
+	}
+	// The timed window covers machine acquisition, input injection and the
+	// run, so SimNs reflects what the pool amortizes: a pooled Get is a
+	// Reset of warmed arenas where a fresh construction allocates them.
 	start := time.Now()
-	res, err := mb.Run(prog, in, false)
+	var sim *machine.Machine
+	if e.Pool != nil {
+		sim, err = e.Pool.Get(machineKey(prog, p), prog, cfg)
+	} else {
+		sim, err = machine.New(prog, cfg)
+	}
+	if err != nil {
+		return fail(err)
+	}
+	if err := backend.Inject(prog, sim.DMH(), in); err != nil {
+		return fail(err)
+	}
+	mr, err := sim.Run()
 	simNs := time.Since(start).Nanoseconds()
 	if err != nil {
 		return fail(err)
 	}
-	e.count(func(s *Stats) { s.Simulated++ })
-	if want := k.Ref(p.N, in); res.RAX != want {
-		return fail(fmt.Errorf("checksum %d, reference %d", res.RAX, want))
+	// A faulted machine is not returned to the pool; this one ran clean.
+	if e.Pool != nil {
+		e.Pool.Put(machineKey(prog, p), sim)
 	}
-
-	mr := res.Machine
+	e.count(func(s *Stats) { s.Simulated++ })
+	if want := k.Ref(p.N, in); mr.RAX != want {
+		return fail(fmt.Errorf("checksum %d, reference %d", mr.RAX, want))
+	}
 	rec.Metrics = Metrics{
 		Instructions:     mr.Instructions,
 		Cycles:           mr.Cycles,

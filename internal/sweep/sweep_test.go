@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/backend"
+	"repro/internal/machine"
 	"repro/internal/minic"
 	"repro/internal/pbbs"
 )
@@ -216,6 +217,50 @@ func TestEngineCachesAcrossEngines(t *testing.T) {
 	}
 	if !reflect.DeepEqual(recs1, recs2) {
 		t.Error("cached records differ from simulated records")
+	}
+}
+
+// TestPooledRunsMatchFresh pins the warm-pool contract at the sweep level:
+// an engine with a machine pool produces JSONL byte-identical to a fresh
+// engine's (after zeroing the host wall-clock fields, the one
+// non-deterministic part of a record), across repeated runs where the pool
+// is actually serving warmed machines.
+func TestPooledRunsMatchFresh(t *testing.T) {
+	spec := func() *Spec {
+		return &Spec{Kernels: []int{2, 10}, Sizes: []int{16}, Cores: []int{1, 4}, Seed: 1}
+	}
+	jsonl := func(recs []Record) string {
+		var buf bytes.Buffer
+		jw := NewJSONLWriter(&buf)
+		for _, r := range recs {
+			r.Metrics = r.Metrics.StripTiming()
+			if err := jw.Write(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.String()
+	}
+
+	fresh := &Engine{Workers: 2}
+	want, err := fresh.Run(spec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pooled := &Engine{Workers: 2, Pool: machine.NewPool()}
+	var got []Record
+	for round := 0; round < 2; round++ {
+		if got, err = pooled.Run(spec(), nil); err != nil {
+			t.Fatal(err)
+		}
+		if a, b := jsonl(want), jsonl(got); a != b {
+			t.Fatalf("round %d: pooled JSONL differs from fresh:\n%s\nvs\n%s", round, b, a)
+		}
+	}
+	// The second round must have run on warmed machines, or the comparison
+	// proved nothing about the pool.
+	if s := pooled.Pool.Stats(); s.Hits == 0 {
+		t.Fatalf("pool stats %+v: second sweep never hit the pool", s)
 	}
 }
 
