@@ -20,6 +20,9 @@
 //	repro serve    — simulation as a service: a long-running HTTP job server
 //	                 over the sweep engine and cache (submit sweeps and runs,
 //	                 poll status, stream JSONL results, browse catalogs)
+//	repro fuzz     — differential fuzzing: generate seeded random mini-C
+//	                 programs and check the four execution substrates agree
+//	                 bit for bit, minimizing any failure to a reproducer
 package main
 
 import (
@@ -54,6 +57,7 @@ commands:
   sweep      scaling laboratory: sweep cores × topology × shortcut × cap
   bench-sim  benchmark the simulator: dense vs idle-skip scheduler
   serve      HTTP job server over the sweep engine and result cache
+  fuzz       differential fuzzing of emulator vs machine schedulers
 
 run "repro <command> -h" for the flags of each command.
 `)
@@ -116,6 +120,8 @@ func run(args []string) error {
 		return cmdBenchSim(args[1:])
 	case "serve":
 		return cmdServe(args[1:])
+	case "fuzz":
+		return cmdFuzz(args[1:])
 	case "-h", "--help", "help":
 		usage()
 		return nil
@@ -138,19 +144,29 @@ func selectKernels(id int) ([]*pbbs.Kernel, error) {
 	return []*pbbs.Kernel{k}, nil
 }
 
+// usageErrf reports a bad invocation on stderr and returns errUsage, so the
+// process exits 2 like any other malformed command line — exitCode prints
+// nothing for errUsage, hence the message here.
+func usageErrf(format string, args ...any) error {
+	fmt.Fprintf(os.Stderr, "repro: "+format+"\n", args...)
+	return errUsage
+}
+
 // parseSimWorkers resolves the -sim-workers flag shared by machine, sweep,
 // bench-sim and serve: a positive worker count for the machine's parallel
 // phase scheduler, or "auto" for GOMAXPROCS. 1 is the bit-exact sequential
 // idle-skip path; every value produces bit-identical simulation results (the
 // scheduler oracle pins this), so the flag is purely a wall-clock knob.
+// Garbage — zero, negatives, non-"auto" words — is a usage error (exit 2),
+// not a runtime failure: the simulation never started.
 func parseSimWorkers(s string) (int, error) {
-	s = strings.TrimSpace(s)
-	if strings.EqualFold(s, "auto") {
+	t := strings.TrimSpace(s)
+	if strings.EqualFold(t, "auto") {
 		return runtime.GOMAXPROCS(0), nil
 	}
-	n, err := strconv.Atoi(s)
+	n, err := strconv.Atoi(t)
 	if err != nil || n < 1 {
-		return 0, fmt.Errorf("bad -sim-workers value %q (want a positive count or \"auto\")", s)
+		return 0, usageErrf("bad -sim-workers value %q (want a positive count or \"auto\")", s)
 	}
 	return n, nil
 }

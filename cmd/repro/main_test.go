@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -60,6 +61,61 @@ func TestSelectKernels(t *testing.T) {
 	}
 	if _, err := selectKernels(99); err == nil {
 		t.Error("selectKernels accepted an unknown benchmark number")
+	}
+}
+
+func TestParseSimWorkers(t *testing.T) {
+	good := []struct {
+		in   string
+		want int
+	}{
+		{"1", 1}, {"4", 4}, {" 4 ", 4},
+		{"auto", runtime.GOMAXPROCS(0)}, {"AUTO", runtime.GOMAXPROCS(0)},
+	}
+	for _, c := range good {
+		if got, err := parseSimWorkers(c.in); err != nil || got != c.want {
+			t.Errorf("parseSimWorkers(%q) = %d, %v, want %d", c.in, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{"", "0", "-1", "-2", "banana", "1.5", "auto2", "0x4"} {
+		_, err := captureStderr(t, func() error {
+			_, perr := parseSimWorkers(bad)
+			if !errors.Is(perr, errUsage) {
+				t.Errorf("parseSimWorkers(%q) = %v, want errUsage", bad, perr)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSimWorkersRejectedEverywhere pins the -sim-workers contract on every
+// subcommand that takes it: garbage is a usage error (exit 2) raised before
+// any simulation or service starts, with the bad value named on stderr.
+func TestSimWorkersRejectedEverywhere(t *testing.T) {
+	cmds := []struct {
+		name string
+		run  func([]string) error
+	}{
+		{"machine", cmdMachine},
+		{"sweep", cmdSweep},
+		{"bench-sim", cmdBenchSim},
+		{"serve", cmdServe},
+	}
+	for _, cmd := range cmds {
+		for _, bad := range []string{"0", "-3", "banana"} {
+			out, err := captureStderr(t, func() error {
+				return cmd.run([]string{"-sim-workers", bad})
+			})
+			if !errors.Is(err, errUsage) {
+				t.Errorf("%s -sim-workers %s = %v, want errUsage", cmd.name, bad, err)
+			}
+			if !strings.Contains(out, bad) {
+				t.Errorf("%s -sim-workers %s: stderr does not name the value:\n%s", cmd.name, bad, out)
+			}
+		}
 	}
 }
 
@@ -267,6 +323,35 @@ func TestCmdSweepSmoke(t *testing.T) {
 	}
 	if !strings.Contains(out, "sweep diff") {
 		t.Errorf("sweep diff output:\n%s", out)
+	}
+}
+
+func TestCmdFuzzSmoke(t *testing.T) {
+	dir := t.TempDir()
+	out, err := capture(t, func() error {
+		return cmdFuzz([]string{"-count", "6", "-workers", "2", "-o", dir})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "programs agree across all substrates") {
+		t.Errorf("fuzz output:\n%s", out)
+	}
+	if ents, err := os.ReadDir(dir); err != nil || len(ents) != 0 {
+		t.Errorf("clean campaign wrote reproducers: %v, %v", ents, err)
+	}
+}
+
+func TestCmdFuzzUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-count", "-1"},
+		{"-count", "0"}, // unbounded needs -duration
+		{"-workers", "-2"},
+	} {
+		_, err := captureStderr(t, func() error { return cmdFuzz(args) })
+		if !errors.Is(err, errUsage) {
+			t.Errorf("fuzz %v = %v, want errUsage", args, err)
+		}
 	}
 }
 

@@ -1,0 +1,167 @@
+package fuzzgen
+
+import (
+	"repro/internal/minic"
+)
+
+// Minimize delta-debugs src down to a smaller program for which keep still
+// returns true. keep is the invariant to preserve — for a fuzz failure,
+// "the oracle still fails the same way"; candidates that no longer compile
+// are naturally rejected by a keep built on the oracle, because a compile
+// failure is a different failure stage.
+//
+// The algorithm parses the current program, enumerates structural mutations
+// (drop a statement, a global or a function; unwrap a branch or loop body;
+// kill a loop; simplify an expression), and greedily accepts any mutation
+// that strictly shrinks the formatted source while keep holds — restarting
+// the enumeration after each acceptance, until no mutation is accepted.
+// Strict shrinkage is the termination argument. Loop conditions are only
+// ever replaced by the constant 0 (never a sub-expression that could be
+// constant-true), and loop init/post clauses are never touched, so no
+// mutation can turn a terminating program into a non-terminating one — and
+// the oracle's bounded emulator leg catches any runaway candidate anyway.
+func Minimize(src string, keep func(string) bool) string {
+	p, err := minic.Parse(src)
+	if err != nil {
+		return src
+	}
+	cur := minic.Format(p)
+	i := 0
+	for {
+		p, err := minic.Parse(cur)
+		if err != nil {
+			return cur // unreachable: cur is Format output
+		}
+		muts := collectMutations(p)
+		if i >= len(muts) {
+			return cur
+		}
+		muts[i]()
+		cand := minic.Format(p)
+		if len(cand) < len(cur) && keep(cand) {
+			cur = cand
+			i = 0
+		} else {
+			i++
+		}
+	}
+}
+
+// collectMutations enumerates single mutations of p as closures. Each
+// closure is applied at most once, to the very AST it was collected from;
+// the caller re-parses before collecting again.
+func collectMutations(p *minic.Program) []func() {
+	var muts []func()
+	for i := range p.Globals {
+		i := i
+		muts = append(muts, func() {
+			p.Globals = append(p.Globals[:i:i], p.Globals[i+1:]...)
+		})
+	}
+	for i, fn := range p.Functions {
+		if fn.Name != "main" {
+			i := i
+			muts = append(muts, func() {
+				p.Functions = append(p.Functions[:i:i], p.Functions[i+1:]...)
+			})
+		}
+	}
+	for _, fn := range p.Functions {
+		fn := fn
+		muts = collectStmts(muts, &fn.Body)
+	}
+	return muts
+}
+
+// collectStmts enumerates mutations of one statement list, recursing.
+func collectStmts(muts []func(), list *[]*minic.Stmt) []func() {
+	for i, s := range *list {
+		i, s := i, s
+		// Drop the statement.
+		muts = append(muts, func() {
+			*list = append((*list)[:i:i], (*list)[i+1:]...)
+		})
+		splice := func(body []*minic.Stmt) func() {
+			return func() {
+				rest := append([]*minic.Stmt{}, (*list)[i+1:]...)
+				*list = append(append((*list)[:i:i], body...), rest...)
+			}
+		}
+		switch s.Kind {
+		case minic.StmtIf:
+			muts = append(muts, splice(s.Body))
+			if len(s.Else) > 0 {
+				muts = append(muts, splice(s.Else))
+				muts = append(muts, func() { s.Else = nil })
+			}
+			muts = collectExpr(muts, &s.E)
+			muts = collectStmts(muts, &s.Body)
+			muts = collectStmts(muts, &s.Else)
+		case minic.StmtWhile, minic.StmtFor:
+			// Kill the loop (condition 0 never runs the body) or unwrap it
+			// to a single straight-line iteration. The condition's
+			// sub-expressions and the for init/post clauses are off limits:
+			// replacing a sub-term could make the condition constant-true.
+			muts = append(muts, func() { s.E = &minic.Expr{Kind: minic.ExprNum, Num: 0} })
+			muts = append(muts, splice(s.Body))
+			muts = collectStmts(muts, &s.Body)
+		case minic.StmtBlock:
+			muts = append(muts, splice(s.Body))
+			muts = collectStmts(muts, &s.Body)
+		case minic.StmtExpr:
+			muts = collectExpr(muts, &s.E)
+		case minic.StmtDecl:
+			if s.DeclInit != nil {
+				muts = collectExpr(muts, &s.DeclInit)
+			}
+		case minic.StmtReturn:
+			if s.E != nil {
+				muts = collectExpr(muts, &s.E)
+			}
+		}
+	}
+	return muts
+}
+
+// collectExpr enumerates simplifications of one expression slot: replace it
+// with a constant, with one of its operands, or narrow a literal; then
+// recurse into the children. Candidates that break typing (e.g. replacing
+// an lvalue with 0) simply fail to compile and are rejected by keep.
+func collectExpr(muts []func(), slot **minic.Expr) []func() {
+	e := *slot
+	set := func(to *minic.Expr) func() { return func() { *slot = to } }
+	if e.Kind != minic.ExprNum {
+		muts = append(muts, set(&minic.Expr{Kind: minic.ExprNum, Num: 0}))
+	} else if e.Num > 9 {
+		muts = append(muts, set(&minic.Expr{Kind: minic.ExprNum, Num: e.Num / 10}))
+	}
+	switch e.Kind {
+	case minic.ExprBinary:
+		muts = append(muts, set(e.L), set(e.R))
+		muts = collectExpr(muts, &e.L)
+		muts = collectExpr(muts, &e.R)
+	case minic.ExprUnary:
+		muts = append(muts, set(e.L))
+		muts = collectExpr(muts, &e.L)
+	case minic.ExprAssign:
+		muts = append(muts, set(e.R))
+		muts = collectExpr(muts, &e.R)
+		if e.L.Kind == minic.ExprIndex { // simplify the index, keep the lvalue
+			muts = collectExpr(muts, &e.L.R)
+		}
+	case minic.ExprCond:
+		muts = append(muts, set(e.L), set(e.R))
+		muts = collectExpr(muts, &e.C)
+		muts = collectExpr(muts, &e.L)
+		muts = collectExpr(muts, &e.R)
+	case minic.ExprIndex:
+		muts = append(muts, set(e.R))
+		muts = collectExpr(muts, &e.R)
+	case minic.ExprCall:
+		for i := range e.Args {
+			muts = append(muts, set(e.Args[i]))
+			muts = collectExpr(muts, &e.Args[i])
+		}
+	}
+	return muts
+}

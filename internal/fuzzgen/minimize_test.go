@@ -1,0 +1,136 @@
+package fuzzgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/minic"
+)
+
+// compilesAndReturns runs src on the emulator (fork mode, bounded) and
+// reports its result; ok is false when it does not compile or run.
+func compilesAndReturns(src string) (uint64, bool) {
+	prog, err := minic.Compile(src, minic.ModeFork)
+	if err != nil {
+		return 0, false
+	}
+	cpu := emu.New(prog)
+	cpu.MaxSteps = 1 << 20
+	if _, err := cpu.Run(); err != nil {
+		return 0, false
+	}
+	return cpu.Result(), true
+}
+
+// TestMinimizeShrinksGenerated minimizes a generated program under a
+// behavioural keep — "still compiles and still returns the same checksum" —
+// the same shape of predicate the fuzz driver uses, with the oracle swapped
+// for the cheap emulator.
+func TestMinimizeShrinksGenerated(t *testing.T) {
+	src := Generate(42).Source
+	want, ok := compilesAndReturns(src)
+	if !ok {
+		t.Fatal("seed program does not run")
+	}
+	keep := func(s string) bool {
+		got, ok := compilesAndReturns(s)
+		return ok && got == want
+	}
+	min := Minimize(src, keep)
+	if !keep(min) {
+		t.Fatalf("minimized program violates keep:\n%s", min)
+	}
+	if len(min) >= len(src) {
+		t.Errorf("no shrink: %d -> %d bytes", len(src), len(min))
+	}
+	// Idempotent: a second pass finds nothing more.
+	if again := Minimize(min, keep); again != min {
+		t.Errorf("second Minimize pass shrank further: %d -> %d bytes", len(min), len(again))
+	}
+}
+
+// TestMinimizeTargeted pins that minimization homes in on the one statement
+// the predicate needs: everything except the marker store is deletable.
+func TestMinimizeTargeted(t *testing.T) {
+	src := `long g0 = 1;
+long g1 = 2;
+long a0[8];
+
+long helper(long x) {
+    return x * 3;
+}
+
+long main(void) {
+    long t = 0;
+    for (long i = 0; i < 6; i += 1) {
+        t += helper(i) + g1;
+    }
+    a0[2] = 77;
+    g0 = t;
+    return t;
+}
+`
+	keep := func(s string) bool {
+		if !strings.Contains(s, "a0[2] = 77") {
+			return false
+		}
+		_, ok := compilesAndReturns(s)
+		return ok
+	}
+	min := Minimize(src, keep)
+	if !keep(min) {
+		t.Fatalf("minimized program violates keep:\n%s", min)
+	}
+	for _, gone := range []string{"helper", "for (", "g1"} {
+		if strings.Contains(min, gone) {
+			t.Errorf("minimized program still contains %q:\n%s", gone, min)
+		}
+	}
+}
+
+// TestMinimizeNeverKept: when keep rejects everything, the input comes back
+// canonicalized but otherwise untouched.
+func TestMinimizeNeverKept(t *testing.T) {
+	src := Generate(7).Source
+	min := Minimize(src, func(string) bool { return false })
+	if min != src {
+		t.Errorf("Minimize under always-false keep altered the program")
+	}
+}
+
+// TestMinimizeLoopSafety: mutations around loops cannot hang the minimizer.
+// The program's while-loop exits through break; deleting the break would
+// make it infinite, so any keep built on a bounded runner must reject that
+// candidate — and Minimize must come back in finite time regardless.
+func TestMinimizeLoopSafety(t *testing.T) {
+	src := `long g0;
+
+long main(void) {
+    long n = 0;
+    while (1) {
+        n += 1;
+        if (n > 5) {
+            break;
+        }
+    }
+    g0 = n;
+    return n;
+}
+`
+	keep := func(s string) bool {
+		got, ok := compilesAndReturns(s)
+		return ok && got == 6
+	}
+	min := Minimize(src, keep)
+	if got, ok := compilesAndReturns(min); !ok || got != 6 {
+		t.Fatalf("minimized loop program returns %d (ok=%v):\n%s", got, ok, min)
+	}
+}
+
+func TestMinimizeMalformedInput(t *testing.T) {
+	src := "not a program"
+	if got := Minimize(src, func(string) bool { return true }); got != src {
+		t.Errorf("Minimize on unparseable input = %q, want input back", got)
+	}
+}

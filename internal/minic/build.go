@@ -1,0 +1,83 @@
+package minic
+
+import (
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// This file is the programmatic construction surface of the package: the
+// fuzz generator (internal/fuzzgen) builds mini-C ASTs directly — no source
+// text in the loop — and compiles or renders them with the helpers below.
+// The node types themselves (Expr, Stmt, Function, GlobalVar, LocalVar) are
+// already exported with exported fields; what clients cannot reach are the
+// type singletons and the Program's name indices, which these helpers manage.
+
+// VoidType returns the void type.
+func VoidType() *Type { return tyVoid }
+
+// LongType returns the signed 64-bit integer type.
+func LongType() *Type { return tyLong }
+
+// ULongType returns the unsigned 64-bit integer type.
+func ULongType() *Type { return tyULong }
+
+// PtrType returns the type "pointer to elem".
+func PtrType(elem *Type) *Type { return ptrTo(elem) }
+
+// ArrayType returns the type "array of n elem".
+func ArrayType(elem *Type, n int64) *Type { return arrayOf(elem, n) }
+
+// NewProgram returns an empty Program ready for programmatic construction
+// with AddGlobal and AddFunction.
+func NewProgram() *Program {
+	return &Program{
+		funcByName: make(map[string]*Function),
+		globByName: make(map[string]*GlobalVar),
+	}
+}
+
+// AddGlobal appends a module-level variable, maintaining the name index the
+// checker resolves against.
+func (p *Program) AddGlobal(g *GlobalVar) error {
+	if _, dup := p.globByName[g.Name]; dup {
+		return errf(0, "duplicate global %q", g.Name)
+	}
+	if p.funcByName[g.Name] != nil {
+		return errf(0, "name %q is both a function and a global", g.Name)
+	}
+	p.Globals = append(p.Globals, g)
+	p.globByName[g.Name] = g
+	return nil
+}
+
+// AddFunction appends a function definition, maintaining the name index.
+func (p *Program) AddFunction(f *Function) error {
+	if _, dup := p.funcByName[f.Name]; dup {
+		return errf(f.Line, "duplicate function %q", f.Name)
+	}
+	if p.globByName[f.Name] != nil {
+		return errf(f.Line, "name %q is both a function and a global", f.Name)
+	}
+	p.Functions = append(p.Functions, f)
+	p.funcByName[f.Name] = f
+	return nil
+}
+
+// CompileAST checks, generates and assembles an in-memory AST — Compile
+// without the front end, for programs built programmatically rather than
+// parsed. Check annotates the AST in place (types, frame offsets); the input
+// must be a freshly built or freshly parsed program.
+func CompileAST(prog *Program, mode Mode) (*isa.Program, error) {
+	if err := Check(prog); err != nil {
+		return nil, err
+	}
+	text, err := Generate(prog, mode)
+	if err != nil {
+		return nil, err
+	}
+	p, err := asm.Assemble(text)
+	if err != nil {
+		return nil, errf(0, "internal error assembling generated code: %v", err)
+	}
+	return p, nil
+}

@@ -1,0 +1,216 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders an AST back to mini-C source. The output re-parses to the
+// same program: Format(Parse(Format(p))) is a fixpoint, which is what the
+// fuzz minimizer relies on — it mutates a freshly parsed AST, renders it,
+// and re-enters the full front end, so a minimized reproducer on disk is an
+// ordinary compilable mini-C file. Only syntactic fields are read; checker
+// annotations (types, offsets, resolutions) are ignored, so both checked and
+// unchecked programs format identically.
+//
+// Expressions are rendered fully parenthesized (except at statement level),
+// trading prettiness for an unambiguous round trip.
+func Format(p *Program) string {
+	var f formatter
+	for i, g := range p.Globals {
+		if i > 0 && g.Type.Kind != p.Globals[i-1].Type.Kind {
+			f.b.WriteByte('\n')
+		}
+		f.global(g)
+	}
+	for i, fn := range p.Functions {
+		if len(p.Globals) > 0 || i > 0 {
+			f.b.WriteByte('\n')
+		}
+		f.function(fn)
+	}
+	return f.b.String()
+}
+
+type formatter struct {
+	b      strings.Builder
+	indent int
+}
+
+func (f *formatter) line(format string, args ...any) {
+	for i := 0; i < f.indent; i++ {
+		f.b.WriteString("    ")
+	}
+	fmt.Fprintf(&f.b, format, args...)
+	f.b.WriteByte('\n')
+}
+
+// declString renders "base *...*name" or "base *...*name[len]".
+func declString(t *Type, name string) string {
+	arr := ""
+	if t.Kind == TypeArray {
+		arr = fmt.Sprintf("[%d]", t.Len)
+		t = t.Elem
+	}
+	stars := ""
+	for t.Kind == TypePtr {
+		stars += "*"
+		t = t.Elem
+	}
+	return t.String() + " " + stars + name + arr
+}
+
+func (f *formatter) global(g *GlobalVar) {
+	if g.Type.Kind != TypeArray && g.Init != 0 {
+		f.line("%s = %d;", declString(g.Type, g.Name), int64(g.Init))
+		return
+	}
+	f.line("%s;", declString(g.Type, g.Name))
+}
+
+func (f *formatter) function(fn *Function) {
+	params := "void"
+	if len(fn.Params) > 0 {
+		var ps []string
+		for _, p := range fn.Params {
+			ps = append(ps, declString(p.Type, p.Name))
+		}
+		params = strings.Join(ps, ", ")
+	}
+	f.line("%s %s(%s) {", fn.Ret, fn.Name, params)
+	f.indent++
+	f.stmts(fn.Body)
+	f.indent--
+	f.line("}")
+}
+
+func (f *formatter) stmts(ss []*Stmt) {
+	for _, s := range ss {
+		f.stmt(s)
+	}
+}
+
+// body renders a brace-enclosed statement body. A body that is exactly one
+// block statement is unwrapped: the parser represents "{ s1; s2; }" as a
+// single StmtBlock, so unwrapping keeps Format∘Parse a fixpoint.
+func (f *formatter) body(ss []*Stmt) {
+	if len(ss) == 1 && ss[0].Kind == StmtBlock {
+		ss = ss[0].Body
+	}
+	f.indent++
+	f.stmts(ss)
+	f.indent--
+}
+
+func (f *formatter) stmt(s *Stmt) {
+	switch s.Kind {
+	case StmtExpr:
+		f.line("%s;", fmtExpr(s.E, true))
+	case StmtDecl:
+		if s.DeclInit != nil {
+			f.line("%s = %s;", declString(s.Decl.Type, s.Decl.Name), fmtExpr(s.DeclInit, true))
+		} else {
+			f.line("%s;", declString(s.Decl.Type, s.Decl.Name))
+		}
+	case StmtIf:
+		f.line("if (%s) {", fmtExpr(s.E, true))
+		f.body(s.Body)
+		if len(s.Else) > 0 {
+			f.line("} else {")
+			f.body(s.Else)
+		}
+		f.line("}")
+	case StmtWhile:
+		f.line("while (%s) {", fmtExpr(s.E, true))
+		f.body(s.Body)
+		f.line("}")
+	case StmtFor:
+		f.line("for (%s; %s; %s) {", fmtForClause(s.Init), fmtOptExpr(s.E), fmtForClause(s.Post))
+		f.body(s.Body)
+		f.line("}")
+	case StmtReturn:
+		if s.E != nil {
+			f.line("return %s;", fmtExpr(s.E, true))
+		} else {
+			f.line("return;")
+		}
+	case StmtBlock:
+		if len(s.Body) == 0 {
+			f.line(";")
+			return
+		}
+		f.line("{")
+		f.indent++
+		f.stmts(s.Body)
+		f.indent--
+		f.line("}")
+	case StmtBreak:
+		f.line("break;")
+	case StmtContinue:
+		f.line("continue;")
+	}
+}
+
+// fmtForClause renders a for-loop init or post clause (no trailing ';').
+func fmtForClause(s *Stmt) string {
+	switch {
+	case s == nil:
+		return ""
+	case s.Kind == StmtDecl && s.DeclInit != nil:
+		return fmt.Sprintf("%s = %s", declString(s.Decl.Type, s.Decl.Name), fmtExpr(s.DeclInit, true))
+	case s.Kind == StmtDecl:
+		return declString(s.Decl.Type, s.Decl.Name)
+	default:
+		return fmtExpr(s.E, true)
+	}
+}
+
+func fmtOptExpr(e *Expr) string {
+	if e == nil {
+		return ""
+	}
+	return fmtExpr(e, true)
+}
+
+// fmtExpr renders e. Compound expressions are parenthesized unless top is
+// set (statement, condition, argument and index positions, where the grammar
+// accepts a full expression).
+func fmtExpr(e *Expr, top bool) string {
+	wrap := func(s string) string {
+		if top {
+			return s
+		}
+		return "(" + s + ")"
+	}
+	switch e.Kind {
+	case ExprNum:
+		return fmt.Sprintf("%d", e.Num)
+	case ExprVar:
+		return e.Name
+	case ExprBinary:
+		return wrap(fmtExpr(e.L, false) + " " + e.Op + " " + fmtExpr(e.R, false))
+	case ExprUnary:
+		return wrap(e.Op + fmtExpr(e.L, false))
+	case ExprAssign:
+		op := "="
+		if e.Op != "" {
+			op = e.Op + "="
+		}
+		return wrap(fmtExpr(e.L, false) + " " + op + " " + fmtExpr(e.R, false))
+	case ExprIndex:
+		base := fmtExpr(e.L, false)
+		if e.L.Kind == ExprVar {
+			base = e.L.Name
+		}
+		return base + "[" + fmtExpr(e.R, true) + "]"
+	case ExprCall:
+		var args []string
+		for _, a := range e.Args {
+			args = append(args, fmtExpr(a, true))
+		}
+		return e.Name + "(" + strings.Join(args, ", ") + ")"
+	case ExprCond:
+		return wrap(fmtExpr(e.C, false) + " ? " + fmtExpr(e.L, false) + " : " + fmtExpr(e.R, false))
+	}
+	return "/*?*/"
+}

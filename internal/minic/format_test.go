@@ -1,0 +1,202 @@
+package minic
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/emu"
+)
+
+// TestErrorPositions pins the structured line/column information on front-end
+// errors: the fuzz minimizer writes reproducers whose compile failures must
+// point at the offending token, not just a line.
+func TestErrorPositions(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		line int
+		col  int
+		want string
+	}{
+		{"unexpected char", "long main(void) {\n    return 0 @ 1;\n}\n", 2, 14, "unexpected character"},
+		{"unterminated comment", "long x;\n/* dangling\n", 2, 1, "unterminated comment"},
+		{"bad hex", "long main(void) { return 0x; }\n", 1, 26, "bad hex literal"},
+		{"unexpected token", "long main(void) {\n    return +;\n}\n", 2, 13, "unexpected token"},
+		{"missing semicolon", "long main(void) {\n    long a = 1\n    return a;\n}\n", 3, 5, `expected ";"`},
+		{"bad declaration", "long main(void) { return 0; }\n; stray\n", 2, 1, "expected declaration"},
+		{"non-constant length", "long main(void) {\n    long a[x];\n    return 0;\n}\n", 2, 12, "array length must be a constant"},
+		{"bad param", "long f(long a, 5) { return a; }\n", 1, 16, "expected parameter type"},
+		{"unterminated block", "long main(void) {\n    return 0;\n", 3, 1, "unexpected end of file"},
+		{"call of non-function", "long main(void) {\n    return (1 + 2)();\n}\n", 2, 19, "call of non-function"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Compile(c.src, ModeCall)
+			if err == nil {
+				t.Fatalf("Compile(%q) succeeded, want error containing %q", c.src, c.want)
+			}
+			var me *Error
+			if !errors.As(err, &me) {
+				t.Fatalf("Compile(%q) error %T %q is not a *minic.Error", c.src, err, err)
+			}
+			if !strings.Contains(me.Msg, c.want) {
+				t.Errorf("error = %q, want containing %q", me.Msg, c.want)
+			}
+			if me.Line != c.line || me.Col != c.col {
+				t.Errorf("error position = %d:%d, want %d:%d (%q)", me.Line, me.Col, c.line, c.col, err)
+			}
+			if !strings.Contains(err.Error(), "line ") {
+				t.Errorf("rendered error lacks position: %q", err)
+			}
+		})
+	}
+}
+
+// TestCheckerErrorsLineOnly pins that semantic errors still carry at least a
+// line (column zero renders in the legacy "line N:" form).
+func TestCheckerErrorsLineOnly(t *testing.T) {
+	_, err := Compile("long main(void) {\n    return x;\n}\n", ModeCall)
+	var me *Error
+	if !errors.As(err, &me) {
+		t.Fatalf("error %T is not a *minic.Error: %v", err, err)
+	}
+	if me.Line != 2 || me.Col != 0 {
+		t.Errorf("checker error position = %d:%d, want 2:0", me.Line, me.Col)
+	}
+	if !strings.Contains(err.Error(), "line 2:") {
+		t.Errorf("rendered error = %q, want line 2:", err)
+	}
+}
+
+// TestFormatRoundTrip: Format∘Parse is a fixpoint, and the formatted program
+// compiles to the same machine program as the original source.
+func TestFormatRoundTrip(t *testing.T) {
+	srcs := []string{
+		`long g = 7;
+unsigned long u;
+long A[8];
+
+long f1(long x, long y) {
+    long t = x * 2 + y;
+    if (t > 10 && x != 0) { t -= 1; } else t += g;
+    return t ? t : -1;
+}
+
+long main(void) {
+    long s = 0;
+    for (long i = 0; i < 8; i += 1) {
+        A[i & 7] = f1(i, s);
+        s = s * 31 + A[i];
+        if (i == 5) continue;
+        while (s > 100000) { s /= 3; }
+    }
+    u = 18446744073709551615ul;
+    u = u >> 3;
+    return s ^ A[2];
+}
+`,
+		`long main(void) {
+    long x = 5;
+    long *p = &x;
+    *p = *p + ~x % 3;
+    { long y = 2; x += y << 2; }
+    for (;;) { break; }
+    return !x + (x >= 0 ? x : 0 - x);
+}
+`,
+	}
+	for i, src := range srcs {
+		ast, err := Parse(src)
+		if err != nil {
+			t.Fatalf("src %d: %v", i, err)
+		}
+		once := Format(ast)
+		ast2, err := Parse(once)
+		if err != nil {
+			t.Fatalf("src %d: formatted output does not parse: %v\n%s", i, err, once)
+		}
+		twice := Format(ast2)
+		if once != twice {
+			t.Errorf("src %d: Format is not a fixpoint\n-- once --\n%s\n-- twice --\n%s", i, once, twice)
+		}
+		// Same observable behaviour in both modes.
+		for _, mode := range []Mode{ModeCall, ModeFork} {
+			r1 := compileRun(t, src, mode)
+			r2 := compileRun(t, once, mode)
+			if r1 != r2 {
+				t.Errorf("src %d (%s): formatted program returns %d, original %d", i, mode, r2, r1)
+			}
+		}
+	}
+}
+
+// TestBuildAST exercises the programmatic construction surface end to end:
+// build an AST with the exported helpers, compile it with CompileAST, and
+// check it behaves like its formatted source compiled through the front end.
+func TestBuildAST(t *testing.T) {
+	num := func(v uint64) *Expr { return &Expr{Kind: ExprNum, Num: v} }
+	vr := func(n string) *Expr { return &Expr{Kind: ExprVar, Name: n} }
+	bin := func(op string, l, r *Expr) *Expr { return &Expr{Kind: ExprBinary, Op: op, L: l, R: r} }
+
+	build := func() *Program {
+		p := NewProgram()
+		if err := p.AddGlobal(&GlobalVar{Name: "g", Type: LongType(), Init: 3}); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.AddGlobal(&GlobalVar{Name: "A", Type: ArrayType(LongType(), 4)}); err != nil {
+			t.Fatal(err)
+		}
+		body := []*Stmt{
+			{Kind: StmtDecl, Decl: &LocalVar{Name: "s", Type: LongType(), Param: -1}, DeclInit: num(0)},
+			{Kind: StmtFor,
+				Init: &Stmt{Kind: StmtDecl, Decl: &LocalVar{Name: "i", Type: LongType(), Param: -1}, DeclInit: num(0)},
+				E:    bin("<", vr("i"), num(4)),
+				Post: &Stmt{Kind: StmtExpr, E: &Expr{Kind: ExprAssign, Op: "+", L: vr("i"), R: num(1)}},
+				Body: []*Stmt{
+					{Kind: StmtExpr, E: &Expr{Kind: ExprAssign,
+						L: &Expr{Kind: ExprIndex, L: vr("A"), R: vr("i")},
+						R: bin("*", vr("i"), vr("g"))}},
+					{Kind: StmtExpr, E: &Expr{Kind: ExprAssign, Op: "+",
+						L: vr("s"), R: &Expr{Kind: ExprIndex, L: vr("A"), R: vr("i")}}},
+				}},
+			{Kind: StmtReturn, E: vr("s")},
+		}
+		if err := p.AddFunction(&Function{Name: "main", Ret: LongType(), Body: body}); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	// Format before CompileAST: Check annotates the AST in place.
+	src := Format(build())
+	const want = uint64(0 + 3 + 6 + 9)
+	runBothModes(t, src, want)
+
+	prog, err := CompileAST(build(), ModeCall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := emu.RunProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cpu.Result(); got != want {
+		t.Errorf("CompileAST program returns %d, want %d", got, want)
+	}
+
+	// Duplicate and cross-kind name clashes are rejected.
+	p := build()
+	if err := p.AddGlobal(&GlobalVar{Name: "g", Type: LongType()}); err == nil {
+		t.Error("AddGlobal accepted a duplicate global")
+	}
+	if err := p.AddGlobal(&GlobalVar{Name: "main", Type: LongType()}); err == nil {
+		t.Error("AddGlobal accepted a function name")
+	}
+	if err := p.AddFunction(&Function{Name: "main", Ret: LongType()}); err == nil {
+		t.Error("AddFunction accepted a duplicate function")
+	}
+	if err := p.AddFunction(&Function{Name: "g", Ret: LongType()}); err == nil {
+		t.Error("AddFunction accepted a global name")
+	}
+}

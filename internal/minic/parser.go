@@ -1,7 +1,5 @@
 package minic
 
-import "fmt"
-
 // parser is a recursive-descent parser over the token stream.
 type parser struct {
 	toks []token
@@ -23,7 +21,7 @@ func (p *parser) accept(text string) bool {
 
 func (p *parser) expect(text string) error {
 	if !p.accept(text) {
-		return errf(p.tok().line, "expected %q, got %q", text, p.tok().text)
+		return errTok(p.tok(), "expected %q, got %q", text, p.tok().text)
 	}
 	return nil
 }
@@ -74,7 +72,7 @@ func (p *parser) declarator(base *Type) (*Type, string, error) {
 	}
 	t := p.tok()
 	if t.kind != tokIdent {
-		return nil, "", errf(t.line, "expected identifier, got %q", t.text)
+		return nil, "", errTok(t, "expected identifier, got %q", t.text)
 	}
 	p.pos++
 	return ty, t.text, nil
@@ -84,7 +82,7 @@ func (p *parser) topLevel() error {
 	line := p.tok().line
 	base := p.baseType()
 	if base == nil {
-		return errf(line, "expected declaration, got %q", p.tok().text)
+		return errTok(p.tok(), "expected declaration, got %q", p.tok().text)
 	}
 	ty, name, err := p.declarator(base)
 	if err != nil {
@@ -99,7 +97,7 @@ func (p *parser) topLevel() error {
 		if p.accept("[") {
 			n := p.tok()
 			if n.kind != tokNumber {
-				return errf(n.line, "array length must be a constant")
+				return errTok(n, "array length must be a constant")
 			}
 			p.pos++
 			if err := p.expect("]"); err != nil {
@@ -119,7 +117,7 @@ func (p *parser) topLevel() error {
 				v = p.tok()
 			}
 			if v.kind != tokNumber {
-				return errf(v.line, "global initialiser must be a constant")
+				return errTok(v, "global initialiser must be a constant")
 			}
 			p.pos++
 			g.Init = v.num
@@ -157,7 +155,7 @@ func (p *parser) functionRest(ret *Type, name string, line int) error {
 			for {
 				base := p.baseType()
 				if base == nil {
-					return errf(p.tok().line, "expected parameter type, got %q", p.tok().text)
+					return errTok(p.tok(), "expected parameter type, got %q", p.tok().text)
 				}
 				ty, pname, err := p.declarator(base)
 				if err != nil {
@@ -213,7 +211,7 @@ func (p *parser) block() ([]*Stmt, error) {
 	var out []*Stmt
 	for !p.accept("}") {
 		if p.tok().kind == tokEOF {
-			return nil, errf(p.tok().line, "unexpected end of file in block")
+			return nil, errTok(p.tok(), "unexpected end of file in block")
 		}
 		s, err := p.statement()
 		if err != nil {
@@ -352,7 +350,7 @@ func (p *parser) statement() ([]*Stmt, error) {
 			if p.accept("[") {
 				n := p.tok()
 				if n.kind != tokNumber {
-					return nil, errf(n.line, "array length must be a constant")
+					return nil, errTok(n, "array length must be a constant")
 				}
 				p.pos++
 				if err := p.expect("]"); err != nil {
@@ -581,7 +579,7 @@ func (p *parser) postfixExpr() (*Expr, error) {
 			e = &Expr{Kind: ExprIndex, Line: t.line, L: e, R: idx}
 		case "(":
 			if e.Kind != ExprVar {
-				return nil, errf(t.line, "call of non-function expression")
+				return nil, errTok(t, "call of non-function expression")
 			}
 			p.pos++
 			call := &Expr{Kind: ExprCall, Name: e.Name, Line: t.line}
@@ -630,5 +628,5 @@ func (p *parser) primaryExpr() (*Expr, error) {
 			return e, nil
 		}
 	}
-	return nil, fmt.Errorf("minic: line %d: unexpected token %q", t.line, t.text)
+	return nil, errTok(t, "unexpected token %q", t.text)
 }

@@ -45,32 +45,54 @@ type token struct {
 	text string
 	num  uint64 // for tokNumber
 	line int
+	col  int // 1-based column of the token's first byte
 }
 
-// Error is a compile error with a source line.
+// Error is a compile error with a source position. Line is always set (0 only
+// for whole-program errors like a missing main); Col is the 1-based column
+// when the failing construct is known down to a token — parser and lexer
+// errors carry it, checker and codegen errors are line-only. Every error the
+// package returns is (or wraps) an *Error, so callers — the fuzz minimizer
+// writing reproducers, editors jumping to positions — can unwrap it with
+// errors.As and get at the structured position.
 type Error struct {
 	Line int
+	Col  int
 	Msg  string
 }
 
-func (e *Error) Error() string { return fmt.Sprintf("minic: line %d: %s", e.Line, e.Msg) }
+func (e *Error) Error() string {
+	if e.Col > 0 {
+		return fmt.Sprintf("minic: line %d:%d: %s", e.Line, e.Col, e.Msg)
+	}
+	return fmt.Sprintf("minic: line %d: %s", e.Line, e.Msg)
+}
 
 func errf(line int, format string, args ...any) error {
 	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// errTok is errf anchored at a token: the error carries the token's line and
+// column.
+func errTok(t token, format string, args ...any) error {
+	return &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
 }
 
 // lex tokenises src.
 func lex(src string) ([]token, error) {
 	var toks []token
 	line := 1
+	lineStart := 0 // byte offset of the current line's first column
 	i := 0
 	n := len(src)
+	col := func() int { return i - lineStart + 1 }
 	for i < n {
 		c := src[i]
 		switch {
 		case c == '\n':
 			line++
 			i++
+			lineStart = i
 		case c == ' ' || c == '\t' || c == '\r':
 			i++
 		case c == '/' && i+1 < n && src[i+1] == '/':
@@ -78,15 +100,17 @@ func lex(src string) ([]token, error) {
 				i++
 			}
 		case c == '/' && i+1 < n && src[i+1] == '*':
+			startLine, startCol := line, col()
 			i += 2
 			for i+1 < n && !(src[i] == '*' && src[i+1] == '/') {
 				if src[i] == '\n' {
 					line++
+					lineStart = i + 1
 				}
 				i++
 			}
 			if i+1 >= n {
-				return nil, errf(line, "unterminated comment")
+				return nil, &Error{Line: startLine, Col: startCol, Msg: "unterminated comment"}
 			}
 			i += 2
 		case isIdentStart(c):
@@ -99,9 +123,10 @@ func lex(src string) ([]token, error) {
 			if keywords[word] {
 				k = tokKeyword
 			}
-			toks = append(toks, token{kind: k, text: word, line: line})
+			toks = append(toks, token{kind: k, text: word, line: line, col: col()})
 			i = j
 		case c >= '0' && c <= '9':
+			startCol := col()
 			j := i
 			base := uint64(10)
 			if c == '0' && i+1 < n && (src[i+1] == 'x' || src[i+1] == 'X') {
@@ -111,7 +136,7 @@ func lex(src string) ([]token, error) {
 					j++
 				}
 				if j == i+2 {
-					return nil, errf(line, "bad hex literal")
+					return nil, &Error{Line: line, Col: startCol, Msg: "bad hex literal"}
 				}
 			} else {
 				for j < n && src[j] >= '0' && src[j] <= '9' {
@@ -141,7 +166,7 @@ func lex(src string) ([]token, error) {
 			for j < n && (src[j] == 'u' || src[j] == 'U' || src[j] == 'l' || src[j] == 'L') {
 				j++
 			}
-			toks = append(toks, token{kind: tokNumber, num: v, text: src[i:j], line: line})
+			toks = append(toks, token{kind: tokNumber, num: v, text: src[i:j], line: line, col: startCol})
 			i = j
 		default:
 			// Multi-character operators first.
@@ -151,21 +176,21 @@ func lex(src string) ([]token, error) {
 			}
 			switch two {
 			case "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "++", "--":
-				toks = append(toks, token{kind: tokPunct, text: two, line: line})
+				toks = append(toks, token{kind: tokPunct, text: two, line: line, col: col()})
 				i += 2
 				continue
 			}
 			switch c {
 			case '+', '-', '*', '/', '%', '&', '|', '^', '~', '!', '<', '>', '=',
 				'(', ')', '{', '}', '[', ']', ';', ',', '?', ':':
-				toks = append(toks, token{kind: tokPunct, text: string(c), line: line})
+				toks = append(toks, token{kind: tokPunct, text: string(c), line: line, col: col()})
 				i++
 			default:
-				return nil, errf(line, "unexpected character %q", string(c))
+				return nil, &Error{Line: line, Col: col(), Msg: fmt.Sprintf("unexpected character %q", string(c))}
 			}
 		}
 	}
-	toks = append(toks, token{kind: tokEOF, line: line})
+	toks = append(toks, token{kind: tokEOF, line: line, col: col()})
 	return toks, nil
 }
 

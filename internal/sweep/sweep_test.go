@@ -476,3 +476,60 @@ func TestTableRendersFailures(t *testing.T) {
 		t.Errorf("table %q does not contain %q", out, want)
 	}
 }
+
+// TestConcurrentDuplicatesWithPool pins the singleflight + warm-pool
+// interaction on fuzz-shaped load: K identical concurrent points simulate
+// exactly once on a pool-backed engine (the flight leader takes one machine
+// from the pool and parks it back), and a follow-up wave of same-shape
+// points — different seed, so a cache miss but the same machine identity —
+// runs on the warmed machine and still agrees with a fresh engine.
+func TestConcurrentDuplicatesWithPool(t *testing.T) {
+	cache, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{Cache: cache, Pool: machine.NewPool()}
+	p := Point{Kernel: 10, N: 8, Cores: 2, Topology: TopoCrossbar, Shortcut: true, Seed: 1}
+	const K = 8
+	recs := make([]Record, K)
+	var wg sync.WaitGroup
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			recs[i] = e.Measure(p)
+		}()
+	}
+	wg.Wait()
+	s := e.Stats()
+	if s.Simulated != 1 || s.Failures != 0 {
+		t.Errorf("stats = %+v, want exactly 1 simulation for %d identical submissions", s, K)
+	}
+	if s.Hits+s.Coalesced != K-1 {
+		t.Errorf("stats = %+v, want the other %d served by cache or coalescing", s, K-1)
+	}
+	for i := 1; i < K; i++ {
+		if !reflect.DeepEqual(recs[i], recs[0]) {
+			t.Errorf("record %d differs from record 0", i)
+		}
+	}
+
+	// Same machine shape, different seed: a cache miss that must be served
+	// by the machine parked by the first wave, bit-identical to a fresh
+	// engine's answer.
+	p2 := p
+	p2.Seed = 2
+	warm := e.Measure(p2)
+	if warm.Err != "" {
+		t.Fatalf("warm-pool measure failed: %s", warm.Err)
+	}
+	if ps := e.Pool.Stats(); ps.Hits == 0 {
+		t.Errorf("pool stats %+v: second wave never hit the pool", ps)
+	}
+	fresh := (&Engine{}).Measure(p2)
+	warm.Metrics = warm.Metrics.StripTiming()
+	fresh.Metrics = fresh.Metrics.StripTiming()
+	if !reflect.DeepEqual(warm, fresh) {
+		t.Errorf("pooled record differs from fresh:\n%+v\nvs\n%+v", warm, fresh)
+	}
+}
