@@ -23,6 +23,10 @@
 //	repro fuzz     — differential fuzzing: generate seeded random mini-C
 //	                 programs and check the four execution substrates agree
 //	                 bit for bit, minimizing any failure to a reproducer
+//	repro kernels  — the kernel front end: list the catalog (with source
+//	                 language), dump a kernel's generated mini-C + assembly,
+//	                 or -vet the whole suite (every kernel re-derived and
+//	                 cross-checked on emulator + machine)
 package main
 
 import (
@@ -58,6 +62,7 @@ commands:
   bench-sim  benchmark the simulator: dense vs idle-skip scheduler
   serve      HTTP job server over the sweep engine and result cache
   fuzz       differential fuzzing of emulator vs machine schedulers
+  kernels    list the kernel catalog, dump generated mini-C, vet the suite
 
 run "repro <command> -h" for the flags of each command.
 `)
@@ -122,6 +127,8 @@ func run(args []string) error {
 		return cmdServe(args[1:])
 	case "fuzz":
 		return cmdFuzz(args[1:])
+	case "kernels":
+		return cmdKernels(args[1:])
 	case "-h", "--help", "help":
 		usage()
 		return nil

@@ -49,7 +49,10 @@ func TestSteadyStateAllocs(t *testing.T) {
 		t.Fatal(err)
 	}
 	in := k.Gen(n, 1)
-	want := k.Ref(n, in)
+	want, err := k.Ref(n, in)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	for _, cores := range []int{1, 16} {
 		m, err := machine.New(prog, machine.DefaultConfig(cores))
@@ -111,7 +114,10 @@ func TestSteadyStateAllocsThroughPool(t *testing.T) {
 		t.Fatal(err)
 	}
 	in := k.Gen(n, 1)
-	want := k.Ref(n, in)
+	want, err := k.Ref(n, in)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	cfg := machine.DefaultConfig(16)
 	pool := machine.NewPool()

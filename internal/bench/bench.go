@@ -266,7 +266,10 @@ func Measure(g Grid) (*Report, error) {
 			return nil, fmt.Errorf("bench: %s: %w", k.Name, err)
 		}
 		in := k.Gen(n, g.Seed)
-		want := k.Ref(n, in)
+		want, err := k.Ref(n, in)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: reference: %w", k.Name, err)
+		}
 		for _, cores := range bc.cores {
 			pt := Point{Kernel: k.Name, N: n, Cores: cores}
 			// The legs of this point, in oracle-first order: every later leg

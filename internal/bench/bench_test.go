@@ -10,20 +10,21 @@ import (
 	"repro/internal/pbbs"
 )
 
-// TestCrossCheckAllKernels is the acceptance cross-check: on all ten PBBS
-// kernels the idle-skip and dense schedulers must produce identical cycles,
-// instruction counts and NoC message totals — Measure errors out on any
-// divergence, so a nil error here is the proof.
+// TestCrossCheckAllKernels is the acceptance cross-check: on every
+// registered kernel the idle-skip and dense schedulers must produce
+// identical cycles, instruction counts and NoC message totals — Measure
+// errors out on any divergence, so a nil error here is the proof.
 func TestCrossCheckAllKernels(t *testing.T) {
-	if len(pbbs.Kernels()) != 10 {
-		t.Fatalf("registry has %d kernels, want the ten of Table 1", len(pbbs.Kernels()))
+	want := len(pbbs.Kernels())
+	if want < 11 {
+		t.Fatalf("registry has %d kernels, want at least the ten of Table 1 plus histogram", want)
 	}
 	rep, err := Measure(Grid{Kernels: []string{"all"}, N: 12, Cores: []int{7}, Seed: 1, Runs: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Points) != 10 {
-		t.Fatalf("measured %d points, want 10", len(rep.Points))
+	if len(rep.Points) != want {
+		t.Fatalf("measured %d points, want %d", len(rep.Points), want)
 	}
 	for _, p := range rep.Points {
 		if p.Cycles <= 0 || p.Instructions <= 0 || p.DenseNs <= 0 || p.IdleSkipNs <= 0 {

@@ -1,0 +1,477 @@
+package gofront
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/minic"
+)
+
+// This file is the reference-semantics half of the front end: a pure-Go
+// interpreter over the *checked* minic AST. Ref runs the exact tree that
+// minic.Compile turns into machine code, so the reference checksum and the
+// compiled program cannot drift — the property the hand-written kernels had
+// to re-establish at runtime by cross-validation.
+//
+// The semantics deliberately mirror the code generator and emulator:
+// shift counts are masked to 6 bits, division by zero is an error (the
+// machine faults), / % and the relational operators take their signedness
+// from the operand types exactly as codegen emits them, a simple assignment
+// evaluates its right side before resolving the destination while a compound
+// assignment resolves the destination first, and && || short-circuit to 0/1.
+// One place the interpreter is stricter than the hardware: an out-of-range
+// array index is an error here, where the machine would silently touch a
+// neighbouring data-segment word.
+
+// interpMaxSteps bounds interpretation so a buggy kernel cannot hang a vet
+// or sweep; at millions of statements per second this is minutes, far past
+// any real kernel at paper-scale n.
+const interpMaxSteps = 4_000_000_000
+
+// Interp runs a checked minic program's main function over the given inputs
+// (data-segment symbol -> words, the same shape the machine loader takes)
+// and returns its value. The program must have been checked (names resolved,
+// types assigned); Kernel.Ref arranges that.
+func Interp(prog *minic.Program, in map[string][]uint64) (uint64, error) {
+	ip := &interp{
+		prog:    prog,
+		globals: make(map[*minic.GlobalVar][]uint64, len(prog.Globals)),
+	}
+	byName := make(map[string]*minic.GlobalVar, len(prog.Globals))
+	for _, g := range prog.Globals {
+		n := int64(1)
+		if g.Type.Kind == minic.TypeArray {
+			n = g.Type.Len
+		}
+		words := make([]uint64, n)
+		if g.Type.Kind != minic.TypeArray {
+			words[0] = g.Init
+		}
+		ip.globals[g] = words
+		byName[g.Name] = g
+	}
+	for sym, words := range in {
+		g := byName[sym]
+		if g == nil {
+			return 0, fmt.Errorf("interp: input for unknown symbol %q", sym)
+		}
+		dst := ip.globals[g]
+		if len(words) > len(dst) {
+			return 0, fmt.Errorf("interp: %d input words overflow %q (%d words)", len(words), sym, len(dst))
+		}
+		copy(dst, words)
+	}
+	var main *minic.Function
+	for _, f := range prog.Functions {
+		if f.Name == "main" {
+			main = f
+		}
+	}
+	if main == nil {
+		return 0, fmt.Errorf("interp: no main function")
+	}
+	ctl, v, err := ip.call(main, nil)
+	if err != nil {
+		return 0, err
+	}
+	if ctl != ctlReturn {
+		return 0, fmt.Errorf("interp: main fell off the end without returning")
+	}
+	return v, nil
+}
+
+type interp struct {
+	prog    *minic.Program
+	globals map[*minic.GlobalVar][]uint64
+	steps   int64
+}
+
+// frame is one activation record: locals and parameters resolve to cells by
+// the checker's *LocalVar identity.
+type frame map[*minic.LocalVar]*uint64
+
+type control uint8
+
+const (
+	ctlNone control = iota
+	ctlReturn
+	ctlBreak
+	ctlContinue
+)
+
+func (ip *interp) tick() error {
+	ip.steps++
+	if ip.steps > interpMaxSteps {
+		return fmt.Errorf("interp: step budget exhausted (possible non-termination)")
+	}
+	return nil
+}
+
+func (ip *interp) call(f *minic.Function, args []uint64) (control, uint64, error) {
+	fr := make(frame, len(f.Locals)+len(f.Params))
+	for i, p := range f.Params {
+		cell := args[i]
+		fr[p] = &cell
+	}
+	return ip.stmts(fr, f.Body)
+}
+
+func (ip *interp) stmts(fr frame, ss []*minic.Stmt) (control, uint64, error) {
+	for _, s := range ss {
+		ctl, v, err := ip.stmt(fr, s)
+		if err != nil || ctl != ctlNone {
+			return ctl, v, err
+		}
+	}
+	return ctlNone, 0, nil
+}
+
+func (ip *interp) stmt(fr frame, s *minic.Stmt) (control, uint64, error) {
+	if err := ip.tick(); err != nil {
+		return ctlNone, 0, err
+	}
+	switch s.Kind {
+	case minic.StmtExpr:
+		_, err := ip.eval(fr, s.E)
+		return ctlNone, 0, err
+	case minic.StmtDecl:
+		var cell uint64
+		if s.DeclInit != nil {
+			v, err := ip.eval(fr, s.DeclInit)
+			if err != nil {
+				return ctlNone, 0, err
+			}
+			cell = v
+		}
+		fr[s.Decl] = &cell
+		return ctlNone, 0, nil
+	case minic.StmtIf:
+		c, err := ip.eval(fr, s.E)
+		if err != nil {
+			return ctlNone, 0, err
+		}
+		if c != 0 {
+			return ip.stmts(fr, s.Body)
+		}
+		return ip.stmts(fr, s.Else)
+	case minic.StmtWhile:
+		for {
+			c, err := ip.eval(fr, s.E)
+			if err != nil {
+				return ctlNone, 0, err
+			}
+			if c == 0 {
+				return ctlNone, 0, nil
+			}
+			ctl, v, err := ip.stmts(fr, s.Body)
+			if err != nil {
+				return ctlNone, 0, err
+			}
+			switch ctl {
+			case ctlReturn:
+				return ctl, v, nil
+			case ctlBreak:
+				return ctlNone, 0, nil
+			}
+			if err := ip.tick(); err != nil {
+				return ctlNone, 0, err
+			}
+		}
+	case minic.StmtFor:
+		if s.Init != nil {
+			if ctl, v, err := ip.stmt(fr, s.Init); err != nil || ctl != ctlNone {
+				return ctl, v, err
+			}
+		}
+		for {
+			if s.E != nil {
+				c, err := ip.eval(fr, s.E)
+				if err != nil {
+					return ctlNone, 0, err
+				}
+				if c == 0 {
+					return ctlNone, 0, nil
+				}
+			}
+			ctl, v, err := ip.stmts(fr, s.Body)
+			if err != nil {
+				return ctlNone, 0, err
+			}
+			switch ctl {
+			case ctlReturn:
+				return ctl, v, nil
+			case ctlBreak:
+				return ctlNone, 0, nil
+			}
+			if s.Post != nil {
+				if ctl, v, err := ip.stmt(fr, s.Post); err != nil || ctl != ctlNone {
+					return ctl, v, err
+				}
+			}
+			if err := ip.tick(); err != nil {
+				return ctlNone, 0, err
+			}
+		}
+	case minic.StmtReturn:
+		if s.E == nil {
+			return ctlReturn, 0, nil
+		}
+		v, err := ip.eval(fr, s.E)
+		return ctlReturn, v, err
+	case minic.StmtBlock:
+		return ip.stmts(fr, s.Body)
+	case minic.StmtBreak:
+		return ctlBreak, 0, nil
+	case minic.StmtContinue:
+		return ctlContinue, 0, nil
+	}
+	return ctlNone, 0, fmt.Errorf("interp: unknown statement kind %d", s.Kind)
+}
+
+// cell resolves an lvalue to its storage cell. For indexed stores/loads the
+// base must be a global array — the only aggregate the front end lowers.
+func (ip *interp) cell(fr frame, e *minic.Expr) (*uint64, error) {
+	switch e.Kind {
+	case minic.ExprVar:
+		if e.Local != nil {
+			c := fr[e.Local]
+			if c == nil {
+				return nil, fmt.Errorf("interp: read of undeclared local %q", e.Name)
+			}
+			return c, nil
+		}
+		if e.Global != nil {
+			if e.Global.Type.Kind == minic.TypeArray {
+				return nil, fmt.Errorf("interp: array %q used as a scalar", e.Name)
+			}
+			return &ip.globals[e.Global][0], nil
+		}
+		return nil, fmt.Errorf("interp: unresolved identifier %q", e.Name)
+	case minic.ExprIndex:
+		if e.L.Kind != minic.ExprVar || e.L.Global == nil || e.L.Global.Type.Kind != minic.TypeArray {
+			return nil, fmt.Errorf("interp: index base must be a global array")
+		}
+		idx, err := ip.eval(fr, e.R)
+		if err != nil {
+			return nil, err
+		}
+		words := ip.globals[e.L.Global]
+		if idx >= uint64(len(words)) {
+			return nil, fmt.Errorf("interp: index %d out of range for %q (%d words)", idx, e.L.Name, len(words))
+		}
+		return &words[idx], nil
+	}
+	return nil, fmt.Errorf("interp: not an lvalue")
+}
+
+func (ip *interp) eval(fr frame, e *minic.Expr) (uint64, error) {
+	switch e.Kind {
+	case minic.ExprNum:
+		return e.Num, nil
+	case minic.ExprVar:
+		c, err := ip.cell(fr, e)
+		if err != nil {
+			return 0, err
+		}
+		return *c, nil
+	case minic.ExprIndex:
+		c, err := ip.cell(fr, e)
+		if err != nil {
+			return 0, err
+		}
+		return *c, nil
+	case minic.ExprUnary:
+		v, err := ip.eval(fr, e.L)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case "-":
+			return -v, nil
+		case "~":
+			return ^v, nil
+		case "!":
+			if v == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+		return 0, fmt.Errorf("interp: unsupported unary %q", e.Op)
+	case minic.ExprBinary:
+		// Short-circuit first: the right side must not evaluate when the
+		// left decides, exactly as the generated branches behave.
+		if e.Op == "&&" || e.Op == "||" {
+			l, err := ip.eval(fr, e.L)
+			if err != nil {
+				return 0, err
+			}
+			if e.Op == "&&" && l == 0 {
+				return 0, nil
+			}
+			if e.Op == "||" && l != 0 {
+				return 1, nil
+			}
+			r, err := ip.eval(fr, e.R)
+			if err != nil {
+				return 0, err
+			}
+			if r != 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+		l, err := ip.eval(fr, e.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := ip.eval(fr, e.R)
+		if err != nil {
+			return 0, err
+		}
+		return binop(e.Op, l, r, e.L.Type, e.R.Type)
+	case minic.ExprAssign:
+		if e.Op == "" {
+			// Simple assignment: right side first, then the destination —
+			// codegen's evaluation order.
+			v, err := ip.eval(fr, e.R)
+			if err != nil {
+				return 0, err
+			}
+			c, err := ip.cell(fr, e.L)
+			if err != nil {
+				return 0, err
+			}
+			*c = v
+			return v, nil
+		}
+		// Compound assignment: destination resolves once, first.
+		c, err := ip.cell(fr, e.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := ip.eval(fr, e.R)
+		if err != nil {
+			return 0, err
+		}
+		v, err := binop(e.Op, *c, r, e.L.Type, e.R.Type)
+		if err != nil {
+			return 0, err
+		}
+		*c = v
+		return v, nil
+	case minic.ExprCall:
+		if e.Callee == nil {
+			return 0, fmt.Errorf("interp: unresolved call %q", e.Name)
+		}
+		args := make([]uint64, len(e.Args))
+		for i, a := range e.Args {
+			v, err := ip.eval(fr, a)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = v
+		}
+		_, v, err := ip.call(e.Callee, args)
+		return v, err
+	case minic.ExprCond:
+		c, err := ip.eval(fr, e.C)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return ip.eval(fr, e.L)
+		}
+		return ip.eval(fr, e.R)
+	}
+	return 0, fmt.Errorf("interp: unknown expression kind %d", e.Kind)
+}
+
+// binop applies a (non-short-circuit) binary operator with the machine's
+// semantics: 6-bit shift counts, signedness from the checked operand types,
+// division faults mirrored as errors.
+func binop(op string, l, r uint64, lt, rt *minic.Type) (uint64, error) {
+	if lt.Kind == minic.TypePtr || lt.Kind == minic.TypeArray ||
+		rt.Kind == minic.TypePtr || rt.Kind == minic.TypeArray {
+		return 0, fmt.Errorf("interp: pointer arithmetic is outside the lowered subset")
+	}
+	unsigned := lt.IsUnsigned() || rt.IsUnsigned()
+	switch op {
+	case "+":
+		return l + r, nil
+	case "-":
+		return l - r, nil
+	case "*":
+		return l * r, nil
+	case "&":
+		return l & r, nil
+	case "|":
+		return l | r, nil
+	case "^":
+		return l ^ r, nil
+	case "<<":
+		return l << (r & 63), nil
+	case ">>":
+		if lt.IsUnsigned() {
+			return l >> (r & 63), nil
+		}
+		return uint64(int64(l) >> (r & 63)), nil
+	case "/", "%":
+		if r == 0 {
+			return 0, fmt.Errorf("interp: division by zero")
+		}
+		if unsigned {
+			if op == "/" {
+				return l / r, nil
+			}
+			return l % r, nil
+		}
+		if int64(l) == math.MinInt64 && int64(r) == -1 {
+			return 0, fmt.Errorf("interp: signed division overflow")
+		}
+		if op == "/" {
+			return uint64(int64(l) / int64(r)), nil
+		}
+		return uint64(int64(l) % int64(r)), nil
+	case "<", "<=", ">", ">=":
+		var t bool
+		if unsigned {
+			switch op {
+			case "<":
+				t = l < r
+			case "<=":
+				t = l <= r
+			case ">":
+				t = l > r
+			case ">=":
+				t = l >= r
+			}
+		} else {
+			a, b := int64(l), int64(r)
+			switch op {
+			case "<":
+				t = a < b
+			case "<=":
+				t = a <= b
+			case ">":
+				t = a > b
+			case ">=":
+				t = a >= b
+			}
+		}
+		if t {
+			return 1, nil
+		}
+		return 0, nil
+	case "==":
+		if l == r {
+			return 1, nil
+		}
+		return 0, nil
+	case "!=":
+		if l != r {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("interp: unsupported operator %q", op)
+}

@@ -1,0 +1,703 @@
+package gofront
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+
+	"repro/internal/minic"
+)
+
+// lowerer translates the checked Go subset of one kernel file into a minic
+// AST for a fixed dataset size n. Compile-time constants (N, //repro:const
+// names) become integer literals, and expressions built purely from them
+// fold, so one Go definition specialises into the per-n program text the
+// hand-written kernels used to spell out.
+type lowerer struct {
+	k      *Kernel
+	consts map[string]uint64
+	prog   *minic.Program
+	sigs   map[string]*minic.Function
+	scopes []map[string]*minic.LocalVar
+	arrays map[string]*minic.GlobalVar
+	scals  map[string]*minic.GlobalVar
+}
+
+// val is a lowered expression plus the facts the lowerer tracks itself: the
+// inferred mini-C type (mirrors minic's checker, drives := inference) and
+// whether the subtree is a foldable compile-time constant.
+type val struct {
+	e *minic.Expr
+	t *minic.Type
+	// num: e is a bare integer literal; repro: the subtree mentions at
+	// least one annotation constant. Folding requires both — literals the
+	// author wrote (s*31, &255) stay literal in the output.
+	num   bool
+	repro bool
+}
+
+func (k *Kernel) lowerProgram(n int) (*minic.Program, error) {
+	consts, err := k.constsFor(n)
+	if err != nil {
+		return nil, err
+	}
+	lo := &lowerer{
+		k:      k,
+		consts: consts,
+		prog:   minic.NewProgram(),
+		sigs:   make(map[string]*minic.Function),
+		arrays: make(map[string]*minic.GlobalVar),
+		scals:  make(map[string]*minic.GlobalVar),
+	}
+	// Globals first: arrays get their per-n concrete lengths.
+	byName := make(map[string]Array, len(k.Arrays))
+	for _, a := range k.Arrays {
+		byName[a.Name] = a
+	}
+	for _, decl := range k.decls {
+		d, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		for _, spec := range d.Specs {
+			vs := spec.(*ast.ValueSpec)
+			name := vs.Names[0].Name
+			if a, isArr := byName[name]; isArr {
+				ln, err := a.Len.Eval(n)
+				if err != nil {
+					return nil, k.errAt(vs.Pos(), "array %q length: %v", name, err)
+				}
+				if ln < 1 {
+					return nil, k.errAt(vs.Pos(), "array %q length %d is not positive", name, ln)
+				}
+				elem := lo.scalarType(vs.Type.(*ast.ArrayType).Elt.(*ast.Ident).Name)
+				g := &minic.GlobalVar{Name: name, Type: minic.ArrayType(elem, ln)}
+				if err := lo.prog.AddGlobal(g); err != nil {
+					return nil, k.errAt(vs.Pos(), "%v", err)
+				}
+				lo.arrays[name] = g
+			} else {
+				g := &minic.GlobalVar{Name: name, Type: lo.scalarType(vs.Type.(*ast.Ident).Name)}
+				if err := lo.prog.AddGlobal(g); err != nil {
+					return nil, k.errAt(vs.Pos(), "%v", err)
+				}
+				lo.scals[name] = g
+			}
+		}
+	}
+	// Signature pre-pass so calls can appear before definitions.
+	for _, decl := range k.decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		f, err := lo.signature(fd)
+		if err != nil {
+			return nil, err
+		}
+		lo.sigs[fd.Name.Name] = f
+	}
+	// Bodies, in file order.
+	for _, decl := range k.decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		f := lo.sigs[fd.Name.Name]
+		body, err := lo.funcBody(fd, f)
+		if err != nil {
+			return nil, err
+		}
+		f.Body = body
+		if err := lo.prog.AddFunction(f); err != nil {
+			return nil, k.errAt(fd.Pos(), "%v", err)
+		}
+	}
+	return lo.prog, nil
+}
+
+func (lo *lowerer) scalarType(goName string) *minic.Type {
+	if goName == "int64" {
+		return minic.LongType()
+	}
+	return minic.ULongType()
+}
+
+// signature lowers a function header. The //repro:kernel entry is renamed
+// main — minic's required entry point — and must return uint64, the checksum
+// the machine reports.
+func (lo *lowerer) signature(fd *ast.FuncDecl) (*minic.Function, error) {
+	k := lo.k
+	name := fd.Name.Name
+	isEntry := fd == k.entry
+	if isEntry {
+		name = "main"
+	} else if name == "main" {
+		return nil, k.errAt(fd.Pos(), "helper named main collides with the lowered entry point")
+	}
+	f := &minic.Function{Name: name, Ret: minic.VoidType()}
+	ft := fd.Type
+	if ft.TypeParams != nil {
+		return nil, k.errAt(fd.Pos(), "type parameters are not supported")
+	}
+	for _, field := range ft.Params.List {
+		id, ok := field.Type.(*ast.Ident)
+		if !ok || (id.Name != "uint64" && id.Name != "int64") {
+			return nil, k.errAt(field.Pos(), "parameter type must be uint64 or int64")
+		}
+		if len(field.Names) == 0 {
+			return nil, k.errAt(field.Pos(), "parameters must be named")
+		}
+		for _, pn := range field.Names {
+			f.Params = append(f.Params, &minic.LocalVar{
+				Name:  pn.Name,
+				Type:  lo.scalarType(id.Name),
+				Param: len(f.Params),
+			})
+		}
+	}
+	if ft.Results != nil {
+		if len(ft.Results.List) != 1 || len(ft.Results.List[0].Names) != 0 {
+			return nil, k.errAt(ft.Results.Pos(), "at most one unnamed result is supported")
+		}
+		id, ok := ft.Results.List[0].Type.(*ast.Ident)
+		if !ok || (id.Name != "uint64" && id.Name != "int64") {
+			return nil, k.errAt(ft.Results.Pos(), "result type must be uint64 or int64")
+		}
+		f.Ret = lo.scalarType(id.Name)
+	}
+	if isEntry && f.Ret != minic.ULongType() {
+		return nil, k.errAt(fd.Pos(), "the kernel entry function must return uint64 (the checksum)")
+	}
+	if isEntry && len(f.Params) != 0 {
+		return nil, k.errAt(fd.Pos(), "the kernel entry function takes no parameters")
+	}
+	return f, nil
+}
+
+// ---- statements ----
+
+func (lo *lowerer) push() { lo.scopes = append(lo.scopes, make(map[string]*minic.LocalVar)) }
+func (lo *lowerer) pop()  { lo.scopes = lo.scopes[:len(lo.scopes)-1] }
+
+func (lo *lowerer) lookup(name string) *minic.LocalVar {
+	for i := len(lo.scopes) - 1; i >= 0; i-- {
+		if v := lo.scopes[i][name]; v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// funcBody lowers a function body. Parameters share the body's outermost
+// scope — the rule in Go and in minic's checker alike — so the scope is set
+// up here rather than through block.
+func (lo *lowerer) funcBody(fd *ast.FuncDecl, f *minic.Function) ([]*minic.Stmt, error) {
+	scope := make(map[string]*minic.LocalVar, len(f.Params))
+	for _, p := range f.Params {
+		scope[p.Name] = p
+	}
+	lo.scopes = []map[string]*minic.LocalVar{scope}
+	defer func() { lo.scopes = nil }()
+	out := make([]*minic.Stmt, 0, len(fd.Body.List))
+	for _, s := range fd.Body.List {
+		ms, err := lo.stmt(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ms)
+	}
+	return out, nil
+}
+
+// block lowers a Go block into a statement list, opening a fresh scope.
+// Bodies attach to if/for/function nodes as plain lists: minic.Format
+// renders them identically to parser-built blocks, which is what keeps the
+// lowered text byte-identical to the hand-written kernels.
+func (lo *lowerer) block(b *ast.BlockStmt) ([]*minic.Stmt, error) {
+	lo.push()
+	defer lo.pop()
+	out := make([]*minic.Stmt, 0, len(b.List))
+	for _, s := range b.List {
+		ms, err := lo.stmt(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ms)
+	}
+	return out, nil
+}
+
+func (lo *lowerer) stmt(s ast.Stmt) (*minic.Stmt, error) {
+	k := lo.k
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		return lo.assign(st)
+	case *ast.IncDecStmt:
+		// i++ lowers to the assignment i = (i + 1) — the idiom the
+		// hand-written kernels' for-loops used. The operand lowers twice
+		// so the two sides are independent trees.
+		op := "+"
+		if st.Tok == token.DEC {
+			op = "-"
+		}
+		l, err := lo.lvalue(st.X)
+		if err != nil {
+			return nil, err
+		}
+		l2, err := lo.lvalue(st.X)
+		if err != nil {
+			return nil, err
+		}
+		one := &minic.Expr{Kind: minic.ExprNum, Num: 1}
+		rhs := &minic.Expr{Kind: minic.ExprBinary, Op: op, L: l2.e, R: one}
+		return &minic.Stmt{Kind: minic.StmtExpr, E: &minic.Expr{Kind: minic.ExprAssign, L: l.e, R: rhs}}, nil
+	case *ast.IfStmt:
+		if st.Init != nil {
+			return nil, k.errAt(st.Pos(), "if statements with init clauses are not supported")
+		}
+		cond, err := lo.expr(st.Cond)
+		if err != nil {
+			return nil, err
+		}
+		body, err := lo.block(st.Body)
+		if err != nil {
+			return nil, err
+		}
+		ms := &minic.Stmt{Kind: minic.StmtIf, E: cond.e, Body: body}
+		switch el := st.Else.(type) {
+		case nil:
+		case *ast.BlockStmt:
+			ms.Else, err = lo.block(el)
+			if err != nil {
+				return nil, err
+			}
+		case *ast.IfStmt:
+			chained, err := lo.stmt(el)
+			if err != nil {
+				return nil, err
+			}
+			ms.Else = []*minic.Stmt{chained}
+		default:
+			return nil, k.errAt(st.Else.Pos(), "unsupported else clause")
+		}
+		return ms, nil
+	case *ast.ForStmt:
+		if st.Cond == nil {
+			return nil, k.errAt(st.Pos(), "for loops need a condition")
+		}
+		if st.Init == nil && st.Post == nil {
+			// Cond-only Go for is mini-C's while.
+			cond, err := lo.expr(st.Cond)
+			if err != nil {
+				return nil, err
+			}
+			body, err := lo.block(st.Body)
+			if err != nil {
+				return nil, err
+			}
+			return &minic.Stmt{Kind: minic.StmtWhile, E: cond.e, Body: body}, nil
+		}
+		if st.Init == nil || st.Post == nil {
+			return nil, k.errAt(st.Pos(), "for loops are either cond-only or have both init and post")
+		}
+		// The init clause scopes over cond/post/body, as in both languages.
+		lo.push()
+		defer lo.pop()
+		init, err := lo.stmt(st.Init)
+		if err != nil {
+			return nil, err
+		}
+		cond, err := lo.expr(st.Cond)
+		if err != nil {
+			return nil, err
+		}
+		post, err := lo.stmt(st.Post)
+		if err != nil {
+			return nil, err
+		}
+		body, err := lo.block(st.Body)
+		if err != nil {
+			return nil, err
+		}
+		return &minic.Stmt{Kind: minic.StmtFor, Init: init, E: cond.e, Post: post, Body: body}, nil
+	case *ast.ReturnStmt:
+		ms := &minic.Stmt{Kind: minic.StmtReturn}
+		switch len(st.Results) {
+		case 0:
+		case 1:
+			v, err := lo.expr(st.Results[0])
+			if err != nil {
+				return nil, err
+			}
+			ms.E = v.e
+		default:
+			return nil, k.errAt(st.Pos(), "multiple return values are not supported")
+		}
+		return ms, nil
+	case *ast.BranchStmt:
+		if st.Label != nil {
+			return nil, k.errAt(st.Pos(), "labeled branches are not supported")
+		}
+		switch st.Tok {
+		case token.BREAK:
+			return &minic.Stmt{Kind: minic.StmtBreak}, nil
+		case token.CONTINUE:
+			return &minic.Stmt{Kind: minic.StmtContinue}, nil
+		}
+		return nil, k.errAt(st.Pos(), "unsupported branch %s", st.Tok)
+	case *ast.BlockStmt:
+		body, err := lo.block(st)
+		if err != nil {
+			return nil, err
+		}
+		return &minic.Stmt{Kind: minic.StmtBlock, Body: body}, nil
+	case *ast.ExprStmt:
+		call, ok := st.X.(*ast.CallExpr)
+		if !ok {
+			return nil, k.errAt(st.Pos(), "only call expressions can stand alone")
+		}
+		v, err := lo.expr(call)
+		if err != nil {
+			return nil, err
+		}
+		if v.e.Kind != minic.ExprCall {
+			return nil, k.errAt(st.Pos(), "only helper calls can stand alone")
+		}
+		return &minic.Stmt{Kind: minic.StmtExpr, E: v.e}, nil
+	}
+	return nil, k.errAt(s.Pos(), "unsupported statement")
+}
+
+// assign lowers :=, =, and the compound assignment operators.
+func (lo *lowerer) assign(st *ast.AssignStmt) (*minic.Stmt, error) {
+	k := lo.k
+	if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+		return nil, k.errAt(st.Pos(), "multi-assignment is not supported")
+	}
+	if st.Tok == token.DEFINE {
+		id, ok := st.Lhs[0].(*ast.Ident)
+		if !ok {
+			return nil, k.errAt(st.Lhs[0].Pos(), ":= needs a plain identifier")
+		}
+		v, err := lo.expr(st.Rhs[0])
+		if err != nil {
+			return nil, err
+		}
+		if !v.t.IsInteger() {
+			return nil, k.errAt(st.Pos(), "cannot declare %q from a %s value", id.Name, v.t)
+		}
+		cur := lo.scopes[len(lo.scopes)-1]
+		if cur[id.Name] != nil {
+			return nil, k.errAt(st.Pos(), "%q redeclared in this scope", id.Name)
+		}
+		if lo.lookupGlobal(id.Name) != nil && lo.lookup(id.Name) == nil {
+			// Shadowing locals is fine (both languages scope the same way);
+			// shadowing a file-scope var is almost certainly a typo'd =.
+			return nil, k.errAt(st.Pos(), "%q shadows a file-scope var; use = to assign it", id.Name)
+		}
+		decl := &minic.LocalVar{Name: id.Name, Type: v.t, Param: -1}
+		cur[id.Name] = decl
+		return &minic.Stmt{Kind: minic.StmtDecl, Decl: decl, DeclInit: v.e}, nil
+	}
+	var op string
+	switch st.Tok {
+	case token.ASSIGN:
+	case token.ADD_ASSIGN:
+		op = "+"
+	case token.SUB_ASSIGN:
+		op = "-"
+	case token.MUL_ASSIGN:
+		op = "*"
+	case token.QUO_ASSIGN:
+		op = "/"
+	case token.REM_ASSIGN:
+		op = "%"
+	case token.AND_ASSIGN:
+		op = "&"
+	case token.OR_ASSIGN:
+		op = "|"
+	case token.XOR_ASSIGN:
+		op = "^"
+	case token.SHL_ASSIGN:
+		op = "<<"
+	case token.SHR_ASSIGN:
+		op = ">>"
+	default:
+		return nil, k.errAt(st.Pos(), "unsupported assignment %s", st.Tok)
+	}
+	l, err := lo.lvalue(st.Lhs[0])
+	if err != nil {
+		return nil, err
+	}
+	r, err := lo.expr(st.Rhs[0])
+	if err != nil {
+		return nil, err
+	}
+	e := &minic.Expr{Kind: minic.ExprAssign, Op: op, L: l.e, R: r.e}
+	return &minic.Stmt{Kind: minic.StmtExpr, E: e}, nil
+}
+
+// lvalue lowers an assignable expression: a scalar variable or an indexed
+// global array element.
+func (lo *lowerer) lvalue(x ast.Expr) (val, error) {
+	v, err := lo.expr(x)
+	if err != nil {
+		return val{}, err
+	}
+	switch v.e.Kind {
+	case minic.ExprVar:
+		if v.num {
+			return val{}, lo.k.errAt(x.Pos(), "cannot assign to a constant")
+		}
+		if v.t.Kind == minic.TypeArray {
+			return val{}, lo.k.errAt(x.Pos(), "cannot assign a whole array")
+		}
+		return v, nil
+	case minic.ExprIndex:
+		return v, nil
+	}
+	return val{}, lo.k.errAt(x.Pos(), "not assignable")
+}
+
+func (lo *lowerer) lookupGlobal(name string) *minic.GlobalVar {
+	if g := lo.arrays[name]; g != nil {
+		return g
+	}
+	return lo.scals[name]
+}
+
+// ---- expressions ----
+
+// litType is minic's literal typing rule: a literal is long unless it does
+// not fit in int64.
+func litType(v uint64) *minic.Type {
+	if int64(v) >= 0 {
+		return minic.LongType()
+	}
+	return minic.ULongType()
+}
+
+func num(v uint64) *minic.Expr { return &minic.Expr{Kind: minic.ExprNum, Num: v} }
+
+func (lo *lowerer) expr(x ast.Expr) (val, error) {
+	k := lo.k
+	switch e := x.(type) {
+	case *ast.BasicLit:
+		if e.Kind != token.INT {
+			return val{}, k.errAt(e.Pos(), "only integer literals are supported")
+		}
+		v, err := strconv.ParseUint(e.Value, 0, 64)
+		if err != nil {
+			return val{}, k.errAt(e.Pos(), "bad literal %s", e.Value)
+		}
+		return val{e: num(v), t: litType(v), num: true}, nil
+	case *ast.Ident:
+		if v := lo.lookup(e.Name); v != nil {
+			return val{e: &minic.Expr{Kind: minic.ExprVar, Name: e.Name}, t: v.Type}, nil
+		}
+		if c, ok := lo.consts[e.Name]; ok {
+			// Annotation constants lower to literals; repro marks the
+			// subtree as foldable.
+			return val{e: num(c), t: litType(c), num: true, repro: true}, nil
+		}
+		if g := lo.lookupGlobal(e.Name); g != nil {
+			return val{e: &minic.Expr{Kind: minic.ExprVar, Name: e.Name}, t: g.Type}, nil
+		}
+		return val{}, k.errAt(e.Pos(), "undeclared identifier %q", e.Name)
+	case *ast.ParenExpr:
+		// Parenthesisation is erased: minic.Format fully re-parenthesises
+		// from AST structure, so source parens carry no information.
+		return lo.expr(e.X)
+	case *ast.UnaryExpr:
+		var op string
+		switch e.Op {
+		case token.SUB:
+			op = "-"
+		case token.XOR:
+			op = "~"
+		case token.NOT:
+			op = "!"
+		default:
+			return val{}, k.errAt(e.Pos(), "unsupported unary operator %s", e.Op)
+		}
+		v, err := lo.expr(e.X)
+		if err != nil {
+			return val{}, err
+		}
+		if !v.t.IsInteger() {
+			return val{}, k.errAt(e.Pos(), "unary %s on %s", op, v.t)
+		}
+		t := v.t
+		if op == "!" {
+			t = minic.LongType()
+		}
+		return val{e: &minic.Expr{Kind: minic.ExprUnary, Op: op, L: v.e}, t: t}, nil
+	case *ast.BinaryExpr:
+		return lo.binary(e)
+	case *ast.CallExpr:
+		return lo.call(e)
+	case *ast.IndexExpr:
+		base, err := lo.expr(e.X)
+		if err != nil {
+			return val{}, err
+		}
+		if base.t.Kind != minic.TypeArray {
+			return val{}, k.errAt(e.X.Pos(), "indexing a non-array %s", base.t)
+		}
+		idx, err := lo.expr(e.Index)
+		if err != nil {
+			return val{}, err
+		}
+		if !idx.t.IsInteger() {
+			return val{}, k.errAt(e.Index.Pos(), "array index must be an integer")
+		}
+		ie := &minic.Expr{Kind: minic.ExprIndex, L: base.e, R: idx.e}
+		return val{e: ie, t: base.t.Elem}, nil
+	}
+	return val{}, k.errAt(x.Pos(), "unsupported expression")
+}
+
+var binOps = map[token.Token]string{
+	token.ADD: "+", token.SUB: "-", token.MUL: "*", token.QUO: "/", token.REM: "%",
+	token.AND: "&", token.OR: "|", token.XOR: "^", token.SHL: "<<", token.SHR: ">>",
+	token.LSS: "<", token.LEQ: "<=", token.GTR: ">", token.GEQ: ">=",
+	token.EQL: "==", token.NEQ: "!=", token.LAND: "&&", token.LOR: "||",
+}
+
+func (lo *lowerer) binary(e *ast.BinaryExpr) (val, error) {
+	k := lo.k
+	op, ok := binOps[e.Op]
+	if !ok {
+		return val{}, k.errAt(e.Pos(), "unsupported binary operator %s", e.Op)
+	}
+	l, err := lo.expr(e.X)
+	if err != nil {
+		return val{}, err
+	}
+	r, err := lo.expr(e.Y)
+	if err != nil {
+		return val{}, err
+	}
+	// Constant folding: both sides literal, at least one rooted in an
+	// annotation constant. Arithmetic happens in Go's int64, matching what
+	// the hand-written templates computed at sprintf time (e.g. N-1 -> 63).
+	if l.num && r.num && (l.repro || r.repro) {
+		if folded, ok, err := foldBin(op, l.e.Num, r.e.Num); err != nil {
+			return val{}, k.errAt(e.Pos(), "constant expression: %v", err)
+		} else if ok {
+			return val{e: num(folded), t: litType(folded), num: true, repro: true}, nil
+		}
+	}
+	if !l.t.IsInteger() || !r.t.IsInteger() {
+		return val{}, k.errAt(e.Pos(), "invalid operands to %s: %s and %s", op, l.t, r.t)
+	}
+	var t *minic.Type
+	switch op {
+	case "<<", ">>":
+		t = l.t
+	case "<", "<=", ">", ">=", "==", "!=", "&&", "||":
+		t = minic.LongType()
+	default:
+		if l.t == minic.ULongType() || r.t == minic.ULongType() {
+			t = minic.ULongType()
+		} else {
+			t = minic.LongType()
+		}
+	}
+	return val{e: &minic.Expr{Kind: minic.ExprBinary, Op: op, L: l.e, R: r.e}, t: t}, nil
+}
+
+// foldBin folds an arithmetic operator over two literals in int64, the
+// arithmetic the legacy fmt.Sprintf templates used. Comparisons do not fold
+// (ok=false): they stay in the output.
+func foldBin(op string, a, b uint64) (uint64, bool, error) {
+	x, y := int64(a), int64(b)
+	var v int64
+	switch op {
+	case "+":
+		v = x + y
+	case "-":
+		v = x - y
+	case "*":
+		v = x * y
+	case "/":
+		if y == 0 {
+			return 0, false, fmt.Errorf("division by zero")
+		}
+		v = x / y
+	case "%":
+		if y == 0 {
+			return 0, false, fmt.Errorf("modulo by zero")
+		}
+		v = x % y
+	case "&":
+		v = x & y
+	case "|":
+		v = x | y
+	case "^":
+		v = x ^ y
+	case "<<":
+		if y < 0 || y > 63 {
+			return 0, false, fmt.Errorf("shift count %d out of range", y)
+		}
+		v = x << y
+	case ">>":
+		if y < 0 || y > 63 {
+			return 0, false, fmt.Errorf("shift count %d out of range", y)
+		}
+		v = x >> y
+	default:
+		return 0, false, nil
+	}
+	return uint64(v), true, nil
+}
+
+// call lowers uint64(x)/int64(x) conversions (erased, but they force the
+// inferred type — the only way to make a := declaration unsigned) and helper
+// function calls.
+func (lo *lowerer) call(e *ast.CallExpr) (val, error) {
+	k := lo.k
+	id, ok := e.Fun.(*ast.Ident)
+	if !ok {
+		return val{}, k.errAt(e.Fun.Pos(), "unsupported call target")
+	}
+	switch id.Name {
+	case "uint64", "int64":
+		if len(e.Args) != 1 {
+			return val{}, k.errAt(e.Pos(), "%s conversion takes one argument", id.Name)
+		}
+		v, err := lo.expr(e.Args[0])
+		if err != nil {
+			return val{}, err
+		}
+		if !v.t.IsInteger() {
+			return val{}, k.errAt(e.Pos(), "cannot convert %s to %s", v.t, id.Name)
+		}
+		v.t = lo.scalarType(id.Name)
+		return v, nil
+	}
+	if fd := lo.sigs[id.Name]; fd != nil && fd.Name != "main" {
+		if len(e.Args) != len(fd.Params) {
+			return val{}, k.errAt(e.Pos(), "%s takes %d arguments, got %d", id.Name, len(fd.Params), len(e.Args))
+		}
+		args := make([]*minic.Expr, len(e.Args))
+		for i, a := range e.Args {
+			v, err := lo.expr(a)
+			if err != nil {
+				return val{}, err
+			}
+			if !v.t.IsInteger() {
+				return val{}, k.errAt(a.Pos(), "argument %d of %s is %s, want an integer", i+1, id.Name, v.t)
+			}
+			args[i] = v.e
+		}
+		ce := &minic.Expr{Kind: minic.ExprCall, Name: fd.Name, Args: args}
+		return val{e: ce, t: fd.Ret}, nil
+	}
+	if id.Name == k.entry.Name.Name {
+		return val{}, k.errAt(e.Pos(), "the entry function cannot be called from helpers")
+	}
+	return val{}, k.errAt(e.Pos(), "call of undefined function %q", id.Name)
+}

@@ -40,7 +40,11 @@ func runMachine(t *testing.T, k *pbbs.Kernel, prog *isa.Program, in pbbs.Inputs,
 	if err != nil {
 		t.Fatalf("%s n=%d cores=%d dense=%v workers=%d: %v", k.Name, n, cores, dense, workers, err)
 	}
-	if want := k.Ref(n, in); res.RAX != want {
+	want, err := k.Ref(n, in)
+	if err != nil {
+		t.Fatalf("%s n=%d: reference: %v", k.Name, n, err)
+	}
+	if res.RAX != want {
 		t.Fatalf("%s n=%d cores=%d: checksum %d, reference %d", k.Name, n, cores, res.RAX, want)
 	}
 	return res.Machine

@@ -73,8 +73,8 @@ func init() {
 		ID:     1,
 		Name:   "breadthFirstSearch/deterministicBFS",
 		MinN:   2,
-		Source: bfsSource,
+		Source: staticSource(bfsSource),
 		Gen:    func(n int, seed uint64) Inputs { return genCSRGraph(n, seed+1*0x9e3779b9) },
-		Ref:    bfsRef,
+		Ref:    staticRef(bfsRef),
 	})
 }

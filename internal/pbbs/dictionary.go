@@ -88,8 +88,8 @@ func init() {
 		ID:     4,
 		Name:   "dictionary/deterministicHash",
 		MinN:   2,
-		Source: dictionarySource,
+		Source: staticSource(dictionarySource),
 		Gen:    dictionaryGen,
-		Ref:    dictionaryRef,
+		Ref:    staticRef(dictionaryRef),
 	})
 }

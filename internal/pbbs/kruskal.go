@@ -111,8 +111,8 @@ func init() {
 		ID:     8,
 		Name:   "minSpanningForest/parallelKruskal",
 		MinN:   2,
-		Source: kruskalSource,
+		Source: staticSource(kruskalSource),
 		Gen:    kruskalGen,
-		Ref:    kruskalRef,
+		Ref:    staticRef(kruskalRef),
 	})
 }

@@ -61,8 +61,8 @@ func init() {
 		ID:     7,
 		Name:   "maximalMatching/ndMatching",
 		MinN:   2,
-		Source: matchingSource,
+		Source: staticSource(matchingSource),
 		Gen:    matchingGen,
-		Ref:    matchingRef,
+		Ref:    staticRef(matchingRef),
 	})
 }

@@ -55,8 +55,8 @@ func init() {
 		ID:     6,
 		Name:   "maximalIndependentSet/ndMIS",
 		MinN:   2,
-		Source: misSource,
+		Source: staticSource(misSource),
 		Gen:    func(n int, seed uint64) Inputs { return genCSRGraph(n, seed+6*0x9e3779b9) },
-		Ref:    misRef,
+		Ref:    staticRef(misRef),
 	})
 }

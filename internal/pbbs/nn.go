@@ -72,8 +72,8 @@ func init() {
 		ID:     9,
 		Name:   "nearestNeighbors/allNearestNeighbors",
 		MinN:   2,
-		Source: nnSource,
+		Source: staticSource(nnSource),
 		Gen:    nnGen,
-		Ref:    nnRef,
+		Ref:    staticRef(nnRef),
 	})
 }

@@ -63,20 +63,47 @@ func (r *rng) uintn(n uint64) uint64 {
 // run.
 type Inputs = backend.Inputs
 
+// Source languages a kernel can be defined in.
+const (
+	// LangMiniC marks a hand-written mini-C kernel (a Go template
+	// producing mini-C source directly).
+	LangMiniC = "minic"
+	// LangGo marks a kernel defined as annotated Go and lowered to mini-C
+	// by internal/gofront.
+	LangGo = "go"
+)
+
 // Kernel is one benchmark of Table 1.
 type Kernel struct {
-	// ID is the paper's benchmark number (1..10).
+	// ID is the paper's benchmark number (1..10; later additions count on).
 	ID int
 	// Name is the paper's "suite/implementation" label.
 	Name string
 	// MinN is the smallest dataset size the kernel supports.
 	MinN int
+	// Lang is the source language the kernel is defined in (LangMiniC for
+	// hand-written mini-C, LangGo for gofront-lowered annotated Go).
+	Lang string
 	// Source generates the mini-C program for a dataset of n elements.
-	Source func(n int) string
+	// Hand-written kernels cannot fail; lowered kernels can (an annotation
+	// expression may not evaluate at this n).
+	Source func(n int) (string, error)
 	// Gen generates the input arrays for a dataset of n elements.
 	Gen func(n int, seed uint64) Inputs
 	// Ref computes the expected checksum from the inputs.
-	Ref func(n int, in Inputs) uint64
+	Ref func(n int, in Inputs) (uint64, error)
+}
+
+// staticSource adapts an infallible mini-C source template to the Kernel
+// Source signature.
+func staticSource(f func(n int) string) func(int) (string, error) {
+	return func(n int) (string, error) { return f(n), nil }
+}
+
+// staticRef adapts an infallible reference checksum to the Kernel Ref
+// signature.
+func staticRef(f func(n int, in Inputs) uint64) func(int, Inputs) (uint64, error) {
+	return func(n int, in Inputs) (uint64, error) { return f(n, in), nil }
 }
 
 // registry holds the self-registered kernels, keyed by benchmark number.
@@ -102,6 +129,9 @@ func Register(k *Kernel) {
 	if k.MinN <= 0 {
 		k.MinN = 4
 	}
+	if k.Lang == "" {
+		k.Lang = LangMiniC
+	}
 	registry[k.ID] = k
 }
 
@@ -125,6 +155,9 @@ type Info struct {
 	// MinN is the smallest dataset size the kernel supports; requested
 	// sizes below it are clamped up to it.
 	MinN int `json:"minN"`
+	// Lang is the language the kernel is defined in ("minic" for
+	// hand-written mini-C, "go" for gofront-lowered annotated Go).
+	Lang string `json:"lang"`
 }
 
 // Catalog returns the registered benchmarks' metadata in the paper's (ID)
@@ -133,7 +166,7 @@ func Catalog() []Info {
 	ks := Kernels()
 	infos := make([]Info, len(ks))
 	for i, k := range ks {
-		infos[i] = Info{ID: k.ID, Name: k.Name, MinN: k.MinN}
+		infos[i] = Info{ID: k.ID, Name: k.Name, MinN: k.MinN, Lang: k.Lang}
 	}
 	return infos
 }
@@ -209,7 +242,11 @@ func (k *Kernel) ClampN(n int) int {
 // Build compiles the kernel for a dataset size in the given calling
 // convention (ModeCall for the emulator, ModeFork for the machine).
 func (k *Kernel) Build(n int, mode minic.Mode) (*isa.Program, error) {
-	return minic.Compile(k.Source(k.ClampN(n)), mode)
+	src, err := k.Source(k.ClampN(n))
+	if err != nil {
+		return nil, fmt.Errorf("pbbs: %s: %w", k.Name, err)
+	}
+	return minic.Compile(src, mode)
 }
 
 // RunResult is the outcome of one kernel execution.
@@ -240,12 +277,16 @@ func (k *Kernel) RunOn(b backend.Backend, n int, seed uint64, traced bool) (*Run
 	if err != nil {
 		return nil, fmt.Errorf("pbbs: %s (n=%d) on %s: %w", k.Name, n, b.Name(), err)
 	}
+	want, err := k.Ref(n, in)
+	if err != nil {
+		return nil, fmt.Errorf("pbbs: %s (n=%d): reference: %w", k.Name, n, err)
+	}
 	res := &RunResult{
 		Kernel:   k,
 		N:        n,
 		Backend:  b.Name(),
 		Checksum: r.RAX,
-		Expected: k.Ref(n, in),
+		Expected: want,
 		Steps:    r.Instructions,
 		Cycles:   r.Cycles,
 		Trace:    r.Trace,
@@ -284,7 +325,11 @@ func (k *Kernel) CrossValidateOn(mb *backend.Machine, n int, seed uint64) (*back
 	if err != nil {
 		return rm, fmt.Errorf("pbbs: %s (n=%d): %w", k.Name, n, err)
 	}
-	if want := k.Ref(n, in); rm.RAX != want {
+	want, err := k.Ref(n, in)
+	if err != nil {
+		return rm, fmt.Errorf("pbbs: %s (n=%d): reference: %w", k.Name, n, err)
+	}
+	if rm.RAX != want {
 		return rm, fmt.Errorf("pbbs: %s (n=%d): machine checksum %d, reference %d",
 			k.Name, n, rm.RAX, want)
 	}

@@ -10,8 +10,8 @@ import (
 
 func TestRegistryCompleteness(t *testing.T) {
 	ks := Kernels()
-	if len(ks) != 10 {
-		t.Fatalf("registry has %d kernels, want 10", len(ks))
+	if len(ks) != 11 {
+		t.Fatalf("registry has %d kernels, want 11 (the paper's ten plus histogram)", len(ks))
 	}
 	for i, k := range ks {
 		if k.ID != i+1 {
@@ -20,12 +20,23 @@ func TestRegistryCompleteness(t *testing.T) {
 		if !strings.Contains(k.Name, "/") {
 			t.Errorf("kernel %d name %q is not suite/implementation", k.ID, k.Name)
 		}
+		switch k.Lang {
+		case LangMiniC, LangGo:
+		default:
+			t.Errorf("kernel %d has unknown Lang %q", k.ID, k.Lang)
+		}
+	}
+	// The annotated-Go path covers the migrated kernels and histogram.
+	for _, id := range []int{2, 5, 10, 11} {
+		if k, err := ByID(id); err != nil || k.Lang != LangGo {
+			t.Errorf("ByID(%d): lang %q, err %v; want an annotated-Go kernel", id, k.Lang, err)
+		}
 	}
 	if _, err := ByID(3); err != nil {
 		t.Error(err)
 	}
-	if _, err := ByID(11); err == nil {
-		t.Error("ByID(11) should fail")
+	if _, err := ByID(12); err == nil {
+		t.Error("ByID(12) should fail")
 	}
 }
 

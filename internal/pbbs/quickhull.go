@@ -96,8 +96,8 @@ func init() {
 		ID:     3,
 		Name:   "convexHull/quickHull",
 		MinN:   2,
-		Source: quickhullSource,
+		Source: staticSource(quickhullSource),
 		Gen:    quickhullGen,
-		Ref:    quickhullRef,
+		Ref:    staticRef(quickhullRef),
 	})
 }

@@ -1,0 +1,33 @@
+unsigned long off[65];
+unsigned long adj[384];
+unsigned long dist[64];
+unsigned long fifo[64];
+
+unsigned long main(void) {
+    unsigned long n = 64;
+    unsigned long none = 18446744073709551615;
+    for (unsigned long i = 0; i < n; i = (i + 1)) {
+        dist[i] = none;
+    }
+    dist[0] = 0;
+    fifo[0] = 0;
+    unsigned long head = 0;
+    unsigned long tail = 1;
+    while (head < tail) {
+        unsigned long u = fifo[head];
+        head = (head + 1);
+        for (unsigned long e = off[u]; e < off[u + 1]; e = (e + 1)) {
+            unsigned long v = adj[e];
+            if (dist[v] == none) {
+                dist[v] = (dist[u] + 1);
+                fifo[tail] = v;
+                tail = (tail + 1);
+            }
+        }
+    }
+    unsigned long s = 0;
+    for (unsigned long i = 0; i < n; i = (i + 1)) {
+        s = ((s * 31) + dist[i]);
+    }
+    return s;
+}

@@ -1,0 +1,31 @@
+unsigned long a[2];
+
+void qs(long lo, long hi) {
+    if (lo >= hi) {
+        return;
+    }
+    unsigned long p = a[hi];
+    long i = lo;
+    for (long j = lo; j < hi; j = (j + 1)) {
+        if (a[j] < p) {
+            unsigned long t = a[i];
+            a[i] = a[j];
+            a[j] = t;
+            i = (i + 1);
+        }
+    }
+    unsigned long t = a[i];
+    a[i] = a[hi];
+    a[hi] = t;
+    qs(lo, i - 1);
+    qs(i + 1, hi);
+}
+
+unsigned long main(void) {
+    qs(0, 1);
+    unsigned long s = 0;
+    for (long i = 0; i < 2; i = (i + 1)) {
+        s = ((s * 31) + a[i]);
+    }
+    return s;
+}

@@ -1,0 +1,40 @@
+long px[64];
+long py[64];
+
+unsigned long hsum;
+unsigned long hcnt;
+
+void findhull(long ax, long ay, long bx, long by) {
+    long best = 0 - 1;
+    long bestd = 0;
+    for (long i = 0; i < 64; i = (i + 1)) {
+        long d = ((bx - ax) * (py[i] - ay)) - ((by - ay) * (px[i] - ax));
+        if (d > bestd) {
+            bestd = d;
+            best = i;
+        }
+    }
+    if (best < 0) {
+        return;
+    }
+    hsum = (((hsum * 31) + (px[best] * 7)) + py[best]);
+    hcnt = (hcnt + 1);
+    findhull(ax, ay, px[best], py[best]);
+    findhull(px[best], py[best], bx, by);
+}
+
+unsigned long main(void) {
+    long lo = 0;
+    long hi = 0;
+    for (long i = 1; i < 64; i = (i + 1)) {
+        if ((px[i] < px[lo]) || ((px[i] == px[lo]) && (py[i] < py[lo]))) {
+            lo = i;
+        }
+        if ((px[i] > px[hi]) || ((px[i] == px[hi]) && (py[i] > py[hi]))) {
+            hi = i;
+        }
+    }
+    findhull(px[lo], py[lo], px[hi], py[hi]);
+    findhull(px[hi], py[hi], px[lo], py[lo]);
+    return (((hsum * 1000003) + (hcnt * 31)) + (lo * 7)) + hi;
+}

@@ -1,0 +1,29 @@
+unsigned long keys[2];
+unsigned long qrys[2];
+unsigned long tab[8];
+
+unsigned long main(void) {
+    unsigned long n = 2;
+    for (unsigned long i = 0; i < n; i = (i + 1)) {
+        unsigned long k = keys[i] + 1;
+        unsigned long h = (k * 11400714819323198485) >> 61;
+        while ((tab[h] != 0) && (tab[h] != k)) {
+            h = ((h + 1) & 7);
+        }
+        tab[h] = k;
+    }
+    unsigned long s = 0;
+    for (unsigned long i = 0; i < n; i = (i + 1)) {
+        unsigned long k = qrys[i] + 1;
+        unsigned long h = (k * 11400714819323198485) >> 61;
+        while ((tab[h] != 0) && (tab[h] != k)) {
+            h = ((h + 1) & 7);
+        }
+        if (tab[h] == k) {
+            s = ((s * 31) + h);
+        } else {
+            s = ((s * 31) + 3735928559);
+        }
+    }
+    return s;
+}

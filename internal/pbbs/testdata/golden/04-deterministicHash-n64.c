@@ -1,0 +1,29 @@
+unsigned long keys[64];
+unsigned long qrys[64];
+unsigned long tab[256];
+
+unsigned long main(void) {
+    unsigned long n = 64;
+    for (unsigned long i = 0; i < n; i = (i + 1)) {
+        unsigned long k = keys[i] + 1;
+        unsigned long h = (k * 11400714819323198485) >> 56;
+        while ((tab[h] != 0) && (tab[h] != k)) {
+            h = ((h + 1) & 255);
+        }
+        tab[h] = k;
+    }
+    unsigned long s = 0;
+    for (unsigned long i = 0; i < n; i = (i + 1)) {
+        unsigned long k = qrys[i] + 1;
+        unsigned long h = (k * 11400714819323198485) >> 56;
+        while ((tab[h] != 0) && (tab[h] != k)) {
+            h = ((h + 1) & 255);
+        }
+        if (tab[h] == k) {
+            s = ((s * 31) + h);
+        } else {
+            s = ((s * 31) + 3735928559);
+        }
+    }
+    return s;
+}

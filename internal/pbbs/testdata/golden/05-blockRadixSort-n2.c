@@ -1,0 +1,36 @@
+unsigned long a[2];
+unsigned long b[2];
+unsigned long cnt[256];
+
+unsigned long main(void) {
+    unsigned long n = 2;
+    for (long pass = 0; pass < 4; pass = (pass + 1)) {
+        unsigned long sh = pass * 8;
+        for (long d = 0; d < 256; d = (d + 1)) {
+            cnt[d] = 0;
+        }
+        for (unsigned long i = 0; i < n; i = (i + 1)) {
+            unsigned long d = (a[i] >> sh) & 255;
+            cnt[d] = (cnt[d] + 1);
+        }
+        unsigned long run = 0;
+        for (long d = 0; d < 256; d = (d + 1)) {
+            unsigned long c = cnt[d];
+            cnt[d] = run;
+            run = (run + c);
+        }
+        for (unsigned long i = 0; i < n; i = (i + 1)) {
+            unsigned long d = (a[i] >> sh) & 255;
+            b[cnt[d]] = a[i];
+            cnt[d] = (cnt[d] + 1);
+        }
+        for (unsigned long i = 0; i < n; i = (i + 1)) {
+            a[i] = b[i];
+        }
+    }
+    unsigned long s = 0;
+    for (unsigned long i = 0; i < n; i = (i + 1)) {
+        s = ((s * 31) + a[i]);
+    }
+    return s;
+}

@@ -1,0 +1,22 @@
+unsigned long off[65];
+unsigned long adj[384];
+unsigned long flag[64];
+
+unsigned long main(void) {
+    unsigned long n = 64;
+    for (unsigned long v = 0; v < n; v = (v + 1)) {
+        unsigned long ok = 1;
+        for (unsigned long e = off[v]; e < off[v + 1]; e = (e + 1)) {
+            unsigned long u = adj[e];
+            if ((u < v) && flag[u]) {
+                ok = 0;
+            }
+        }
+        flag[v] = ok;
+    }
+    unsigned long s = 0;
+    for (unsigned long v = 0; v < n; v = (v + 1)) {
+        s = ((s * 31) + (flag[v] * (v + 1)));
+    }
+    return s;
+}

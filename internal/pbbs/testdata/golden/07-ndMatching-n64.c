@@ -1,0 +1,22 @@
+unsigned long eu[192];
+unsigned long ev[192];
+unsigned long mate[64];
+
+unsigned long main(void) {
+    unsigned long m = 192;
+    unsigned long n = 64;
+    unsigned long s = 0;
+    for (unsigned long e = 0; e < m; e = (e + 1)) {
+        unsigned long u = eu[e];
+        unsigned long v = ev[e];
+        if (((u != v) && (mate[u] == 0)) && (mate[v] == 0)) {
+            mate[u] = (v + 1);
+            mate[v] = (u + 1);
+            s = ((s * 31) + e);
+        }
+    }
+    for (unsigned long v = 0; v < n; v = (v + 1)) {
+        s = ((s * 31) + mate[v]);
+    }
+    return s;
+}

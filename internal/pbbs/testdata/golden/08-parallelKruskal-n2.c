@@ -1,0 +1,66 @@
+unsigned long eu[6];
+unsigned long ev[6];
+unsigned long ew[6];
+unsigned long parent[2];
+
+unsigned long find(unsigned long x) {
+    while (parent[x] != x) {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+    }
+    return x;
+}
+
+void qs(long lo, long hi) {
+    if (lo >= hi) {
+        return;
+    }
+    unsigned long p = ew[hi];
+    long i = lo;
+    for (long j = lo; j < hi; j = (j + 1)) {
+        if (ew[j] < p) {
+            unsigned long t = ew[i];
+            ew[i] = ew[j];
+            ew[j] = t;
+            t = eu[i];
+            eu[i] = eu[j];
+            eu[j] = t;
+            t = ev[i];
+            ev[i] = ev[j];
+            ev[j] = t;
+            i = (i + 1);
+        }
+    }
+    unsigned long t = ew[i];
+    ew[i] = ew[hi];
+    ew[hi] = t;
+    t = eu[i];
+    eu[i] = eu[hi];
+    eu[hi] = t;
+    t = ev[i];
+    ev[i] = ev[hi];
+    ev[hi] = t;
+    qs(lo, i - 1);
+    qs(i + 1, hi);
+}
+
+unsigned long main(void) {
+    unsigned long n = 2;
+    unsigned long m = 6;
+    for (unsigned long v = 0; v < n; v = (v + 1)) {
+        parent[v] = v;
+    }
+    qs(0, 5);
+    unsigned long w = 0;
+    unsigned long taken = 0;
+    for (unsigned long e = 0; e < m; e = (e + 1)) {
+        unsigned long ru = find(eu[e]);
+        unsigned long rv = find(ev[e]);
+        if (ru != rv) {
+            parent[ru] = rv;
+            w = (w + ew[e]);
+            taken = (taken + 1);
+        }
+    }
+    return (w * 11400714819323198485) + taken;
+}

@@ -1,0 +1,23 @@
+long px[2];
+long py[2];
+
+unsigned long main(void) {
+    unsigned long s = 0;
+    for (long i = 0; i < 2; i = (i + 1)) {
+        long best = 0 - 1;
+        long bd = 9223372036854775807;
+        for (long j = 0; j < 2; j = (j + 1)) {
+            if (j != i) {
+                long dx = px[i] - px[j];
+                long dy = py[i] - py[j];
+                long d = (dx * dx) + (dy * dy);
+                if (d < bd) {
+                    bd = d;
+                    best = j;
+                }
+            }
+        }
+        s = ((s * 31) + best);
+    }
+    return s;
+}

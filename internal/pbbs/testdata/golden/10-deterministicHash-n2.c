@@ -1,0 +1,21 @@
+unsigned long a[2];
+unsigned long tab[8];
+
+unsigned long main(void) {
+    unsigned long n = 2;
+    unsigned long cnt = 0;
+    unsigned long sum = 0;
+    for (unsigned long i = 0; i < n; i = (i + 1)) {
+        unsigned long k = a[i] + 1;
+        unsigned long h = (k * 11400714819323198485) >> 61;
+        while ((tab[h] != 0) && (tab[h] != k)) {
+            h = ((h + 1) & 7);
+        }
+        if (tab[h] == 0) {
+            tab[h] = k;
+            cnt = (cnt + 1);
+            sum = (sum + a[i]);
+        }
+    }
+    return (cnt * 11400714819323198485) + sum;
+}

@@ -1,0 +1,17 @@
+unsigned long a[2];
+unsigned long h[256];
+
+unsigned long main(void) {
+    unsigned long n = 2;
+    for (long b = 0; b < 256; b = (b + 1)) {
+        h[b] = 0;
+    }
+    for (unsigned long i = 0; i < n; i = (i + 1)) {
+        h[(a[i] >> 24) & 255] = (h[(a[i] >> 24) & 255] + 1);
+    }
+    unsigned long s = 0;
+    for (long b = 0; b < 256; b = (b + 1)) {
+        s = ((s * 31) + h[b]);
+    }
+    return s;
+}

@@ -89,7 +89,10 @@ func (r *RunRequest) Point() (sweep.Point, error) {
 	if r.N < 0 {
 		return p, fmt.Errorf("bad dataset size %d", r.N)
 	}
-	p.N = k.ClampN(cmp.Or(r.N, 64))
+	// Keep the requested size: the engine clamps to the kernel's minimum
+	// and surfaces the original in the record's RequestedN, which an eager
+	// clamp here would erase.
+	p.N = cmp.Or(r.N, 64)
 	p.Cores = cmp.Or(r.Cores, 1)
 	if p.Cores < 1 {
 		return p, fmt.Errorf("bad core count %d", p.Cores)

@@ -269,6 +269,12 @@ func (m *Manager) exec(j *Job) {
 	var err error
 	if j.Kind == KindRun {
 		rec := m.eng.Measure(*j.point)
+		if rec.RequestedN != 0 {
+			// The engine clamped the dataset size up to the kernel's
+			// minimum; say so instead of silently serving a different point.
+			m.log.Info("dataset size clamped", "id", j.ID,
+				"kernel", rec.Name, "requestedN", rec.RequestedN, "effectiveN", rec.N)
+		}
 		j.append(rec)
 		if rec.Err != "" {
 			err = errors.New(rec.Err)

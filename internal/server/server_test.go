@@ -188,6 +188,22 @@ func TestRunJobLifecycle(t *testing.T) {
 	if final.Record.Cycles == 0 || final.Record.Cores != 2 || final.Record.N != 8 {
 		t.Errorf("run record = %+v", final.Record)
 	}
+	if final.Record.RequestedN != 0 {
+		t.Errorf("in-range run carries RequestedN = %d", final.Record.RequestedN)
+	}
+
+	// A request below the kernel's minimum flows through to the engine,
+	// which clamps it and keeps the original size in the record.
+	if code := postJSON(t, ts, "/v1/runs", `{"kernel":10,"n":1}`, &st); code != http.StatusAccepted {
+		t.Fatalf("POST /v1/runs = %d", code)
+	}
+	final = waitDone(t, ts, "/v1/runs/"+st.ID)
+	if final.State != StateDone || final.Record == nil {
+		t.Fatalf("final status = %+v", final)
+	}
+	if final.Record.N != 2 || final.Record.RequestedN != 1 {
+		t.Errorf("clamped run record n=%d requestedN=%d, want 2 and 1", final.Record.N, final.Record.RequestedN)
+	}
 }
 
 func TestNotFound(t *testing.T) {
@@ -403,6 +419,52 @@ func TestHistoryEviction(t *testing.T) {
 	if _, ok := m.Get(jobs[2].ID); !ok {
 		t.Errorf("newest job %s evicted", jobs[2].ID)
 	}
+}
+
+// TestRunClampLogged pins the server-side half of the clamp surfacing: a run
+// whose requested N is below the kernel's minimum completes (the engine
+// clamps), and the manager says so in its log instead of silently serving a
+// different point.
+func TestRunClampLogged(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	log := slog.New(slog.NewTextHandler(lockedWriter{&mu, &buf}, nil))
+	m := NewManager(&sweep.Engine{}, log, 8, 1)
+	j := m.SubmitRun(sweep.Point{Kernel: 2, N: 1, Cores: 1, Topology: sweep.TopoCrossbar, Shortcut: true, Seed: 1})
+	deadline := time.Now().Add(30 * time.Second)
+	for !j.terminal() {
+		if time.Now().After(deadline) {
+			t.Fatal("job did not finish")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := j.status()
+	if st.State != StateDone || st.Record == nil {
+		t.Fatalf("job = %+v", st)
+	}
+	if st.Record.RequestedN != 1 || st.Record.N != 2 {
+		t.Errorf("record requestedN=%d n=%d, want 1 and 2", st.Record.RequestedN, st.Record.N)
+	}
+	mu.Lock()
+	logged := buf.String()
+	mu.Unlock()
+	if !strings.Contains(logged, "dataset size clamped") ||
+		!strings.Contains(logged, "requestedN=1") || !strings.Contains(logged, "effectiveN=2") {
+		t.Errorf("clamp not logged:\n%s", logged)
+	}
+}
+
+// lockedWriter serialises the slog handler's writes so the test can read the
+// buffer while the manager's goroutine may still be logging.
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (l lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
 }
 
 func TestKernelSelUnmarshal(t *testing.T) {

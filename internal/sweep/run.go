@@ -151,8 +151,14 @@ func (e *Engine) Measure(p Point) Record {
 	if err != nil {
 		return fail(err)
 	}
+	requested := p.N
 	p.N, p.Name = k.ClampN(p.N), k.Name
 	rec.Point = p
+	if p.N != requested {
+		// The clamp used to be silent; the record now carries the size the
+		// caller asked for next to the size that actually ran.
+		rec.RequestedN = requested
+	}
 	prog, err := k.Build(p.N, minic.ModeFork)
 	if err != nil {
 		return fail(err)
@@ -220,7 +226,11 @@ func (e *Engine) Measure(p Point) Record {
 		e.Pool.Put(machineKey(prog, p), sim)
 	}
 	e.count(func(s *Stats) { s.Simulated++ })
-	if want := k.Ref(p.N, in); mr.RAX != want {
+	want, err := k.Ref(p.N, in)
+	if err != nil {
+		return fail(fmt.Errorf("reference: %w", err))
+	}
+	if mr.RAX != want {
 		return fail(fmt.Errorf("checksum %d, reference %d", mr.RAX, want))
 	}
 	rec.Metrics = Metrics{

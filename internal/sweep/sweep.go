@@ -248,8 +248,13 @@ func (m Metrics) StripTiming() Metrics {
 type Record struct {
 	Point
 	Metrics
-	Key string `json:"key,omitempty"`
-	Err string `json:"error,omitempty"`
+	// RequestedN is the dataset size the caller asked for when it was below
+	// the kernel's minimum and got clamped up: the embedded Point carries
+	// the effective size that ran, this field the original request. Zero
+	// when no clamping happened.
+	RequestedN int    `json:"requestedN,omitempty"`
+	Key        string `json:"key,omitempty"`
+	Err        string `json:"error,omitempty"`
 }
 
 // Table renders records as an aligned report, one row per point. ns/cyc is

@@ -2,9 +2,11 @@ package sweep
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -290,6 +292,33 @@ func TestMeasureClampsPoint(t *testing.T) {
 	}
 	if rec.N != k.MinN || rec.Name != k.Name {
 		t.Errorf("Measure point = %+v, want clamped n=%d name=%q", rec.Point, k.MinN, k.Name)
+	}
+	// The clamp is surfaced, not silent: the record keeps what was asked for.
+	if rec.RequestedN != 1 {
+		t.Errorf("RequestedN = %d, want the pre-clamp 1", rec.RequestedN)
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"requestedN":1`) {
+		t.Errorf("clamped record JSONL missing requestedN: %s", b)
+	}
+
+	// An in-range request carries no RequestedN — the field is omitted from
+	// the JSONL so unclamped records stay byte-identical to the old format.
+	rec = e.Measure(Point{Kernel: 2, N: k.MinN, Cores: 1, Topology: TopoCrossbar, Shortcut: true, Seed: 1})
+	if rec.Err != "" {
+		t.Fatalf("Measure failed: %s", rec.Err)
+	}
+	if rec.RequestedN != 0 {
+		t.Errorf("unclamped RequestedN = %d, want 0", rec.RequestedN)
+	}
+	if b, err = json.Marshal(rec); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "requestedN") {
+		t.Errorf("unclamped record JSONL leaks requestedN: %s", b)
 	}
 }
 
