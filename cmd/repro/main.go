@@ -19,7 +19,11 @@
 //	                 identical results, written to BENCH_machine.json
 //	repro serve    — simulation as a service: a long-running HTTP job server
 //	                 over the sweep engine and cache (submit sweeps and runs,
-//	                 poll status, stream JSONL results, browse catalogs)
+//	                 poll status, stream JSONL results, browse catalogs); also
+//	                 the fabric coordinator — sweeps shard across registered
+//	                 workers, falling back to local execution with none
+//	repro worker   — fabric worker: register with a coordinator, lease grid
+//	                 points, measure them locally and report the records back
 //	repro fuzz     — differential fuzzing: generate seeded random mini-C
 //	                 programs and check the four execution substrates agree
 //	                 bit for bit, minimizing any failure to a reproducer
@@ -60,7 +64,9 @@ commands:
   analytic   print the Section 5 scaling table
   sweep      scaling laboratory: sweep cores × topology × shortcut × cap
   bench-sim  benchmark the simulator: dense vs idle-skip scheduler
-  serve      HTTP job server over the sweep engine and result cache
+  serve      HTTP job server over the sweep engine and result cache;
+             doubles as the sweep-fabric coordinator
+  worker     fabric worker: lease sweep points from a coordinator
   fuzz       differential fuzzing of emulator vs machine schedulers
   kernels    list the kernel catalog, dump generated mini-C, vet the suite
 
@@ -125,6 +131,8 @@ func run(args []string) error {
 		return cmdBenchSim(args[1:])
 	case "serve":
 		return cmdServe(args[1:])
+	case "worker":
+		return cmdWorker(args[1:])
 	case "fuzz":
 		return cmdFuzz(args[1:])
 	case "kernels":

@@ -103,6 +103,7 @@ func TestSimWorkersRejectedEverywhere(t *testing.T) {
 		{"sweep", cmdSweep},
 		{"bench-sim", cmdBenchSim},
 		{"serve", cmdServe},
+		{"worker", cmdWorker},
 	}
 	for _, cmd := range cmds {
 		for _, bad := range []string{"0", "-3", "banana"} {

@@ -12,6 +12,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/machine"
 	"repro/internal/server"
 	"repro/internal/sweep"
@@ -23,6 +24,13 @@ import (
 // cache directory. It serves until SIGINT/SIGTERM, then shuts down
 // gracefully: the listener stops, in-flight requests and running jobs get
 // the -grace budget to finish.
+//
+// The server is also the sweep-fabric coordinator: `repro worker` processes
+// register under /fabric/v1/ and submitted sweeps shard across them in
+// leased batches, every accepted result merging into the server's cache so
+// streamed JSONL stays byte-identical to the single-process path. With no
+// workers registered sweeps run on the local engine exactly as before, so
+// mounting the fabric costs nothing.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8321", "listen address")
@@ -34,12 +42,20 @@ func cmdServe(args []string) error {
 	dense := fs.Bool("dense", false, "use the reference dense scheduler instead of idle-skip")
 	simWorkers := fs.String("sim-workers", "1", "parallel-scheduler goroutines per simulation (\"auto\" = GOMAXPROCS; results are bit-identical for every value)")
 	pool := fs.Bool("machine-pool", true, "reuse warmed machines across submissions that differ only in inputs")
+	lease := fs.Duration("lease", 5*time.Second, "fabric lease TTL: a worker batch unreported past this re-queues")
+	batch := fs.Int("batch", 8, "fabric points per worker lease")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	sw, err := parseSimWorkers(*simWorkers)
 	if err != nil {
 		return err
+	}
+	if *lease <= 0 {
+		return usageErrf("bad -lease %v (want a positive duration)", *lease)
+	}
+	if *batch < 1 {
+		return usageErrf("bad -batch %d (want at least 1)", *batch)
 	}
 
 	// The engine is the server's simulation configuration: every submitted
@@ -55,17 +71,25 @@ func cmdServe(args []string) error {
 		}
 	}
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	coord := &fabric.Coordinator{
+		Eng: eng, Cache: eng.Cache, LeaseTTL: *lease, Batch: *batch, Log: log,
+	}
 	srv := server.New(server.Config{
-		Engine: eng, Log: log,
+		Engine: eng, Runner: coord, Log: log,
 		MaxHistory: *history, MaxConcurrentJobs: *jobs,
 	})
-	hs := &http.Server{Handler: srv.Handler()}
+	// The fabric protocol mounts beside the API on the same listener; its
+	// high-frequency worker polls skip the request-logging middleware.
+	mux := http.NewServeMux()
+	mux.Handle("/fabric/v1/", coord.Handler())
+	mux.Handle("/", srv.Handler())
+	hs := &http.Server{Handler: mux}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
-	log.Info("serving", "addr", ln.Addr().String(), "cache", *cacheDir, "jobs", *jobs, "history", *history, "simWorkers", sw, "machinePool", *pool)
+	log.Info("serving", "addr", ln.Addr().String(), "cache", *cacheDir, "jobs", *jobs, "history", *history, "simWorkers", sw, "machinePool", *pool, "lease", *lease, "batch", *batch)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,0 +1,48 @@
+package main
+
+// Flag validation for the fabric entry points: a malformed coordinator URL
+// or nonsense lease tuning is a usage error (exit 2) raised before anything
+// registers, listens or simulates.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestWorkerRejectsBadCoordinatorURL(t *testing.T) {
+	for _, bad := range []string{"not a url", "127.0.0.1:8321", "http://"} {
+		out, err := captureStderr(t, func() error {
+			return cmdWorker([]string{"-coordinator", bad})
+		})
+		if !errors.Is(err, errUsage) {
+			t.Errorf("worker -coordinator %q = %v, want errUsage", bad, err)
+		}
+		if !strings.Contains(out, "-coordinator") {
+			t.Errorf("worker -coordinator %q: stderr does not name the flag:\n%s", bad, out)
+		}
+	}
+}
+
+func TestServeRejectsBadFabricTuning(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-lease", "0s"}, "-lease"},
+		{[]string{"-lease", "-5s"}, "-lease"},
+		{[]string{"-batch", "0"}, "-batch"},
+		{[]string{"-batch", "-2"}, "-batch"},
+	}
+	for _, c := range cases {
+		out, err := captureStderr(t, func() error {
+			return cmdServe(c.args)
+		})
+		if !errors.Is(err, errUsage) {
+			t.Errorf("serve %v = %v, want errUsage", c.args, err)
+		}
+		if !strings.Contains(out, c.want) {
+			t.Errorf("serve %v: stderr does not name %s:\n%s", c.args, c.want, out)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package analytic_test
+
+// The closed forms of Section 5 are checked against the cycle-level machine:
+// these tests pin the exact small-n agreement and the scaling shape so the
+// future surrogate planner (ROADMAP) has a measured oracle for the analytic
+// model's domain of validity.
+
+import (
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/machine"
+	"repro/internal/progs"
+)
+
+// measure runs the Fig. 5 fork sum for doubling step n (a 5·2ⁿ-element
+// array) on the cycle-level machine with one core per section plus one for
+// the driver — the ample-parallelism regime the Section 5 model idealizes.
+func measure(t *testing.T, n int) *machine.Result {
+	t.Helper()
+	p, err := progs.BuildSumFork(progs.Vector(int(analytic.Elements(n))))
+	if err != nil {
+		t.Fatalf("build n=%d: %v", n, err)
+	}
+	r, err := machine.RunProgram(p, int(analytic.Sections(n))+1)
+	if err != nil {
+		t.Fatalf("run n=%d: %v", n, err)
+	}
+	return r
+}
+
+// TestMachineMatchesClosedFormCounts pins the exact small-n points: the
+// measured dynamic instruction count and section count equal the closed
+// forms plus the constant driver overhead, and the reduction checksum is
+// correct.
+func TestMachineMatchesClosedFormCounts(t *testing.T) {
+	for n := 0; n <= 3; n++ {
+		r := measure(t, n)
+		// +4: the driver (movq, movq, fork, hlt) is outside the paper's count.
+		if got, want := r.Instructions, analytic.Instructions(n)+4; got != want {
+			t.Errorf("n=%d instructions = %d, closed form + driver = %d", n, got, want)
+		}
+		// +1: the driver's continuation after hlt occupies one extra section.
+		if got, want := int64(len(r.Sections)), analytic.Sections(n)+1; got != want {
+			t.Errorf("n=%d sections = %d, closed form + driver = %d", n, got, want)
+		}
+		if got, want := r.RAX, progs.VectorSum(int(analytic.Elements(n))); got != want {
+			t.Errorf("n=%d checksum = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestMachineFetchScalingTracksModel checks the model's central claim: fetch
+// time is affine in the doubling step n while instructions grow as 2ⁿ. The
+// measured per-level increment must be constant and close to the model's
+// 12-cycle slope, so measured fetch IPC grows monotonically like the model's.
+func TestMachineFetchScalingTracksModel(t *testing.T) {
+	const maxN = 4
+	var fetch [maxN + 1]int64
+	var ipc [maxN + 1]float64
+	for n := 0; n <= maxN; n++ {
+		r := measure(t, n)
+		fetch[n], ipc[n] = r.FetchDone, r.FetchIPC()
+	}
+	inc := fetch[1] - fetch[0]
+	if slope := analytic.FetchTime(1) - analytic.FetchTime(0); inc < slope || inc > slope+4 {
+		t.Errorf("fetch per-level increment = %d, want within [%d, %d] of the model slope",
+			inc, slope, slope+4)
+	}
+	for n := 1; n <= maxN; n++ {
+		if d := fetch[n] - fetch[n-1]; d != inc {
+			t.Errorf("fetch increment at n=%d is %d, not constant %d (fetch times %v)",
+				n, d, inc, fetch)
+		}
+		if ipc[n] <= ipc[n-1] {
+			t.Errorf("fetch IPC not increasing at n=%d: %.2f -> %.2f", n, ipc[n-1], ipc[n])
+		}
+	}
+	// The constant driver prologue keeps measured fetch a small fixed offset
+	// above the model's 30-cycle base.
+	if off := fetch[0] - analytic.FetchTime(0); off < 0 || off > 8 {
+		t.Errorf("fetch base offset = %d, want within [0, 8] of the model's %d",
+			off, analytic.FetchTime(0))
+	}
+}
+
+// TestMachineRetireScalingTracksModel checks the retire-side shape: the
+// model's RetireTime is the idealized lower bound, measured retirement is
+// monotone in n, always after the last fetch, and retire IPC still grows
+// with the doubling step (the paper's ~92 instructions/cycle trend).
+func TestMachineRetireScalingTracksModel(t *testing.T) {
+	const maxN = 4
+	var retire, fetch [maxN + 1]int64
+	var ipc [maxN + 1]float64
+	for n := 0; n <= maxN; n++ {
+		r := measure(t, n)
+		retire[n], fetch[n], ipc[n] = r.RetireDone, r.FetchDone, r.RetireIPC()
+	}
+	for n := 0; n <= maxN; n++ {
+		if retire[n] < analytic.RetireTime(n) {
+			t.Errorf("n=%d retire = %d cycles, below the model lower bound %d",
+				n, retire[n], analytic.RetireTime(n))
+		}
+		if retire[n] <= fetch[n] {
+			t.Errorf("n=%d retire = %d not after last fetch %d", n, retire[n], fetch[n])
+		}
+		if n > 0 {
+			if retire[n] <= retire[n-1] {
+				t.Errorf("retire time not increasing at n=%d: %d -> %d",
+					n, retire[n-1], retire[n])
+			}
+			if ipc[n] <= ipc[n-1] {
+				t.Errorf("retire IPC not increasing at n=%d: %.2f -> %.2f",
+					n, ipc[n-1], ipc[n])
+			}
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package fabric
+
+// Protocol unit tests on an injected clock: lease expiry and re-grant order,
+// first-write-wins completion, duplicate counting, unknown-worker rejection
+// and point-mismatch rejection — no real timers, no HTTP, no sleeps beyond
+// polling for the asynchronous Run to enqueue its grid.
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// fakeClock is a mutable clock handed to Coordinator.now. Advance moves
+// every deadline decision deterministically; the watchdog's real-time ticker
+// (LeaseTTL/4 = 15s with the minute-long TTL used here) never fires within a
+// test, so the injected clock is the only time source that matters.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+// newProtocolRig builds a coordinator on a fake clock with one registered
+// worker and a background Run over the quick grid, returning everything a
+// protocol test needs. LeaseTTL is one minute: expiry happens only when the
+// test advances the clock.
+func newProtocolRig(t *testing.T) (*Coordinator, *fakeClock, *sweep.Engine, string, *runHandle) {
+	t.Helper()
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	eng := &sweep.Engine{Cache: newCache(t, t.TempDir())}
+	c := &Coordinator{
+		Eng: eng, Cache: eng.Cache,
+		LeaseTTL: time.Minute, Batch: 4,
+		Log: quietLog(), now: clk.Now,
+	}
+	w := c.Register("prot").Worker
+	h := startRun(c.Run, grid())
+	return c, clk, eng, w, h
+}
+
+// awaitLease polls until the asynchronous Run has queued points and a lease
+// is granted.
+func awaitLease(t *testing.T, c *Coordinator, worker string) LeaseResponse {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := c.Lease(worker)
+		if err != nil {
+			t.Fatalf("lease: %v", err)
+		}
+		if len(resp.Points) > 0 {
+			return resp
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("no lease granted within 10s")
+	return LeaseResponse{}
+}
+
+// measureReport measures a granted lease on eng and builds the report.
+func measureReport(eng *sweep.Engine, worker string, l LeaseResponse) ReportRequest {
+	req := ReportRequest{Worker: worker, Lease: l.Lease}
+	for _, lp := range l.Points {
+		req.Results = append(req.Results, ReportResult{Task: lp.Task, Record: eng.Measure(lp.Point)})
+	}
+	return req
+}
+
+// drainRun lease-measure-reports until the queue is empty and the run
+// resolves.
+func drainRun(t *testing.T, c *Coordinator, eng *sweep.Engine, worker string, h *runHandle) []sweep.Record {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := c.Lease(worker)
+		if err != nil {
+			t.Fatalf("lease: %v", err)
+		}
+		if len(resp.Points) == 0 {
+			select {
+			case res := <-h.ch:
+				mustOK(t, res.recs, res.err)
+				return res.recs
+			case <-time.After(10 * time.Millisecond):
+				continue
+			}
+		}
+		if _, err := c.Report(measureReport(eng, worker, resp)); err != nil {
+			t.Fatalf("report: %v", err)
+		}
+	}
+	t.Fatalf("run never drained")
+	return nil
+}
+
+func taskIDs(l LeaseResponse) []string {
+	ids := make([]string, len(l.Points))
+	for i, p := range l.Points {
+		ids[i] = p.Task
+	}
+	return ids
+}
+
+func TestExpiredLeaseReGrantsSameTasksInOrder(t *testing.T) {
+	c, clk, eng, w, h := newProtocolRig(t)
+
+	first := awaitLease(t, c, w)
+	if len(first.Points) != 4 {
+		t.Fatalf("first lease granted %d points, want the batch of 4", len(first.Points))
+	}
+	// Within the TTL the batch stays leased: a second poll gets the *other*
+	// half of the 8-point grid, never the in-flight tasks.
+	second := awaitLease(t, c, w)
+	for _, id := range taskIDs(second) {
+		for _, held := range taskIDs(first) {
+			if id == held {
+				t.Fatalf("task %s leased twice while its lease was live", id)
+			}
+		}
+	}
+
+	// Land the second batch now, so exactly one lease (the first) is
+	// outstanding when the clock jumps: which of several simultaneously
+	// expired leases re-queues first is unspecified (map order).
+	if _, err := c.Report(measureReport(eng, w, second)); err != nil {
+		t.Fatalf("report: %v", err)
+	}
+
+	// Past the TTL the first batch re-queues — at the front, in its original
+	// order, with exactly one expiry counted.
+	clk.Advance(time.Minute + time.Second)
+	third, err := c.Lease(w)
+	if err != nil {
+		t.Fatalf("lease after expiry: %v", err)
+	}
+	got, want := taskIDs(third), taskIDs(first)
+	if len(got) != len(want) {
+		t.Fatalf("re-grant has %d tasks, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("re-grant task[%d] = %s, want %s (stolen work must keep grid order)", i, got[i], want[i])
+		}
+	}
+	if st := c.Stats(); st.Expired != 1 {
+		t.Errorf("expired %d leases, want exactly the abandoned first one", st.Expired)
+	}
+
+	// Report the re-granted batch and let the run finish clean.
+	if _, err := c.Report(measureReport(eng, w, third)); err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	drainRun(t, c, eng, w, h)
+}
+
+func TestLateReportAfterReLeaseIsFirstWriteWins(t *testing.T) {
+	c, clk, eng, w, h := newProtocolRig(t)
+	victim := awaitLease(t, c, w)
+	victimReport := measureReport(eng, w, victim)
+
+	// The victim's lease expires; a rescuer re-leases the same tasks and
+	// reports first.
+	clk.Advance(time.Minute + time.Second)
+	rescuer := c.Register("rescue").Worker
+	release, err := c.Lease(rescuer)
+	if err != nil {
+		t.Fatalf("re-lease: %v", err)
+	}
+	resp, err := c.Report(measureReport(eng, rescuer, release))
+	if err != nil {
+		t.Fatalf("rescuer report: %v", err)
+	}
+	if resp.Accepted != len(release.Points) || resp.Duplicates != 0 {
+		t.Fatalf("rescuer report = %+v, want %d accepted", resp, len(release.Points))
+	}
+
+	// The victim limps back with its stale lease: every result is a
+	// duplicate, nothing lands twice.
+	late, err := c.Report(victimReport)
+	if err != nil {
+		t.Fatalf("late report: %v", err)
+	}
+	if late.Accepted != 0 || late.Duplicates != len(victimReport.Results) {
+		t.Errorf("late report = %+v, want all %d duplicates", late, len(victimReport.Results))
+	}
+	// And re-sending the rescuer's own report is just as idempotent.
+	again, err := c.Report(measureReport(eng, rescuer, release))
+	if err != nil {
+		t.Fatalf("replayed report: %v", err)
+	}
+	if again.Accepted != 0 || again.Duplicates != len(release.Points) {
+		t.Errorf("replayed report = %+v, want all duplicates", again)
+	}
+
+	recs := drainRun(t, c, eng, w, h)
+	if len(recs) != gridSize {
+		t.Fatalf("run returned %d records, want %d", len(recs), gridSize)
+	}
+	if st := c.Stats(); st.Accepted != gridSize {
+		t.Errorf("accepted %d results for an %d-point grid", st.Accepted, gridSize)
+	}
+}
+
+func TestUnknownWorkerIsRejected(t *testing.T) {
+	c := &Coordinator{Eng: &sweep.Engine{}, Log: quietLog()}
+	if _, err := c.Lease("ghost"); !errors.Is(err, ErrUnknownWorker) {
+		t.Errorf("lease from unregistered worker: err = %v, want ErrUnknownWorker", err)
+	}
+	if _, err := c.Report(ReportRequest{Worker: "ghost"}); !errors.Is(err, ErrUnknownWorker) {
+		t.Errorf("report from unregistered worker: err = %v, want ErrUnknownWorker", err)
+	}
+	// A coordinator restart forgets the fleet: IDs from the previous
+	// incarnation are unknown too, which is what pushes workers to
+	// re-register.
+	old := c.Register("pre-restart").Worker
+	fresh := &Coordinator{Eng: &sweep.Engine{}, Log: quietLog()}
+	if _, err := fresh.Lease(old); !errors.Is(err, ErrUnknownWorker) {
+		t.Errorf("lease with pre-restart ID: err = %v, want ErrUnknownWorker", err)
+	}
+}
+
+func TestMismatchedPointReportIsRejectedNotCompleted(t *testing.T) {
+	c, _, eng, w, h := newProtocolRig(t)
+	l := awaitLease(t, c, w)
+
+	// A confused worker reports the right task ID carrying the wrong point:
+	// the result must be dropped without completing the task.
+	bogus := eng.Measure(l.Points[0].Point)
+	bogus.Cores += 97
+	resp, err := c.Report(ReportRequest{
+		Worker: w, Lease: l.Lease,
+		Results: []ReportResult{{Task: l.Points[0].Task, Record: bogus}},
+	})
+	if err != nil {
+		t.Fatalf("mismatched report: %v", err)
+	}
+	if resp.Accepted != 0 || resp.Duplicates != 0 {
+		t.Errorf("mismatched report = %+v, want neither accepted nor duplicate", resp)
+	}
+
+	// The task is still open: the correct record for it is accepted.
+	good, err := c.Report(ReportRequest{
+		Worker: w, Lease: l.Lease,
+		Results: []ReportResult{{Task: l.Points[0].Task, Record: eng.Measure(l.Points[0].Point)}},
+	})
+	if err != nil {
+		t.Fatalf("correct report: %v", err)
+	}
+	if good.Accepted != 1 {
+		t.Errorf("correct report after mismatch = %+v, want 1 accepted", good)
+	}
+	// Finish the rest of the batch and the run.
+	rest := measureReport(eng, w, l)
+	rest.Results = rest.Results[1:]
+	if _, err := c.Report(rest); err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	recs := drainRun(t, c, eng, w, h)
+	for _, r := range recs {
+		if r.Cores >= 97 {
+			t.Fatalf("bogus record landed in the grid: %+v", r.Point)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package fabric
+
+// The full production stack in one process: internal/server with the
+// coordinator injected as its sweep Runner, the fabric protocol mounted
+// beside the API exactly as `repro serve` mounts it, and a worker goroutine
+// doing all the measuring. A sweep submitted over the HTTP API must stream
+// the same bytes as a single-process `repro sweep` over the merged cache,
+// with the server's own engine never simulating a point.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/sweep"
+)
+
+func TestServerShardsSweepsAcrossFabric(t *testing.T) {
+	coordDir := t.TempDir()
+	coordEng := &sweep.Engine{Cache: newCache(t, coordDir)}
+	c := &Coordinator{
+		Eng: coordEng, Cache: coordEng.Cache,
+		LeaseTTL: 5 * time.Second, Batch: 2, Log: quietLog(),
+	}
+	srv := server.New(server.Config{
+		Engine: coordEng, Runner: c, Log: quietLog(), MaxConcurrentJobs: 2,
+	})
+	// The same mux layout as cmd/repro serve: fabric beside the API.
+	mux := http.NewServeMux()
+	mux.Handle("/fabric/v1/", c.Handler())
+	mux.Handle("/", srv.Handler())
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	w := startWorker(t, ts.URL, "w1", &sweep.Engine{Cache: newCache(t, t.TempDir())}, nil)
+	waitWorkers(t, c, 1)
+
+	// Submit the quick grid over the public API.
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json",
+		strings.NewReader(`{"kernels":[2,10],"sizes":[8,12],"cores":[1,2],"seed":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st server.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || st.ID == "" {
+		t.Fatalf("POST /v1/sweeps = %d, status %+v", resp.StatusCode, st)
+	}
+
+	// Poll to completion, then stream the JSONL results.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r, err := http.Get(ts.URL + "/v1/sweeps/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if st.State == server.StateDone {
+			break
+		}
+		if st.State == server.StateFailed {
+			t.Fatalf("sweep failed: %s", st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep still %s after 30s", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	r, err := http.Get(ts.URL + st.Results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSONL, err := io.ReadAll(r.Body)
+	r.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantJSONL, oracle := sequentialOracle(t, coordDir)
+	if !bytes.Equal(gotJSONL, wantJSONL) {
+		t.Errorf("API-streamed JSONL differs from single-process sweep:\n got: %s\nwant: %s", gotJSONL, wantJSONL)
+	}
+	if st := oracle.Stats(); st.Simulated != 0 || st.Hits != gridSize {
+		t.Errorf("oracle stats %+v, want the whole grid from the merged cache", st)
+	}
+	if st := coordEng.Stats(); st.Points != 0 {
+		t.Errorf("server engine measured %d points, want 0 (the fleet measures)", st.Points)
+	}
+	if sim := w.eng.Stats().Simulated; sim != gridSize {
+		t.Errorf("worker simulated %d points, want %d", sim, gridSize)
+	}
+	if cs := c.Stats(); cs.Accepted != gridSize || cs.LocalRuns != 0 {
+		t.Errorf("coordinator stats %+v, want %d accepted and no local runs", cs, gridSize)
+	}
+}

@@ -327,3 +327,53 @@ func TestLoweringIsCachedPerN(t *testing.T) {
 		t.Error("different n produced identical sources")
 	}
 }
+
+// TestScanErrorPositions pins the *position* part of scan errors: every
+// diagnostic must point at the offending declaration or statement as
+// file:line:col, hand-computed here against the literal sources. (The
+// message substrings are covered by TestScanErrors; this table would catch a
+// regression that anchors errors at the wrong node or drops the position.)
+func TestScanErrorPositions(t *testing.T) {
+	cases := []struct {
+		name, src, wantPrefix string
+	}{
+		{
+			// The annotation rides the doc comment, but the error anchors at
+			// the annotated func declaration (line 4, the `func` keyword).
+			name:       "bad-annotation-field",
+			src:        "package kernels\n\n//repro:kernel id=1 name=a/b bogus\nfunc f() uint64 {\n\treturn 0\n}\n",
+			wantPrefix: `gofront: test.go:4:1: bad //repro:kernel field "bogus"`,
+		},
+		{
+			// The go statement itself: line 8, column 2 (after the tab).
+			name:       "unsupported-statement",
+			src:        "package kernels\n\nfunc g() {\n}\n\n//repro:kernel id=1 name=a/b minn=2\nfunc f() uint64 {\n\tgo g()\n\treturn 0\n}\n",
+			wantPrefix: "gofront: test.go:8:2: unsupported statement",
+		},
+		{
+			// A call of a function that exists nowhere in the file anchors at
+			// the callee identifier: line 5, column 9 (`h` after "\treturn ").
+			name:       "undefined-call",
+			src:        "package kernels\n\n//repro:kernel id=1 name=a/b minn=2\nfunc f() uint64 {\n\treturn h(1)\n}\n",
+			wantPrefix: `gofront: test.go:5:9: call of undefined function "h"`,
+		},
+		{
+			// A malformed len= expression anchors at the var spec's name:
+			// line 4, column 5 (`a` after "var ").
+			name:       "bad-len-expression",
+			src:        "package kernels\n\n//repro:array len=n+\nvar a []uint64\n\n//repro:kernel id=1 name=a/b minn=2\nfunc f() uint64 {\n\treturn 0\n}\n",
+			wantPrefix: `gofront: test.go:4:5: array "a": bad expression "n+"`,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Scan("test.go", []byte(c.src))
+			if err == nil {
+				t.Fatalf("Scan succeeded, want error at %q", c.wantPrefix)
+			}
+			if !strings.HasPrefix(err.Error(), c.wantPrefix) {
+				t.Errorf("Scan err = %q, want prefix %q", err, c.wantPrefix)
+			}
+		})
+	}
+}

@@ -162,12 +162,22 @@ func (j *Job) status() Status {
 	return st
 }
 
+// Runner executes sweep grids for the manager: sweep.Engine.Run's exact
+// contract (deterministic grid-order emit, records in grid order, joined
+// per-point errors). The engine itself is the default; the fabric
+// coordinator substitutes the distributed path, sharding grids across
+// registered workers and falling back to the engine with zero workers.
+type Runner interface {
+	Run(spec *sweep.Spec, emit func(sweep.Record)) ([]sweep.Record, error)
+}
+
 // Manager owns the job store and executes jobs on the shared sweep engine.
 // At most maxJobs execute concurrently (the rest queue in StateSubmitted),
 // and the history is bounded: once the store exceeds maxHistory jobs, the
 // oldest finished jobs are evicted and their IDs return 404.
 type Manager struct {
 	eng        *sweep.Engine
+	runner     Runner
 	log        *slog.Logger
 	maxHistory int
 	sem        chan struct{}
@@ -178,11 +188,13 @@ type Manager struct {
 	closing   chan struct{}
 	closeOnce sync.Once
 
-	mu    sync.Mutex
-	seq   int
-	jobs  map[string]*Job
-	order []string // submission order, for listing and eviction
-	wg    sync.WaitGroup
+	mu       sync.Mutex
+	seq      int
+	jobs     map[string]*Job
+	order    []string      // submission order, for listing and eviction
+	inflight int           // exec goroutines not yet finished
+	draining bool          // Drain has begun: new submissions fail fast
+	idle     chan struct{} // created by Drain, closed when inflight hits 0
 }
 
 // NewManager wires a manager over the engine. maxHistory and maxJobs
@@ -198,7 +210,7 @@ func NewManager(eng *sweep.Engine, log *slog.Logger, maxHistory, maxJobs int) *M
 		log = slog.Default()
 	}
 	return &Manager{
-		eng: eng, log: log, maxHistory: maxHistory,
+		eng: eng, runner: eng, log: log, maxHistory: maxHistory,
 		sem: make(chan struct{}, maxJobs), jobs: make(map[string]*Job),
 		closing: make(chan struct{}),
 	}
@@ -227,11 +239,34 @@ func (m *Manager) submit(kind Kind, spec *sweep.Spec, point *sweep.Point, grid i
 	m.jobs[id] = j
 	m.order = append(m.order, id)
 	m.evictLocked()
-	m.wg.Add(1)
+	if m.draining {
+		// Submission raced the drain: fail the job without spawning exec.
+		// (The old sync.WaitGroup bookkeeping could Add after Drain's Wait
+		// had started on a zero counter, which is a documented WaitGroup
+		// misuse; the inflight counter is checked under the same lock that
+		// sets draining, so the race is gone.)
+		m.mu.Unlock()
+		j.finish(errors.New("server shutting down before the job started"))
+		m.log.Info("job rejected at shutdown", "id", id, "kind", kind)
+		return j
+	}
+	m.inflight++
 	m.mu.Unlock()
 	m.log.Info("job submitted", "id", id, "kind", kind, "points", grid)
 	go m.exec(j)
 	return j
+}
+
+// jobDone retires one exec goroutine and wakes the drain once the last one
+// leaves.
+func (m *Manager) jobDone() {
+	m.mu.Lock()
+	m.inflight--
+	if m.draining && m.inflight == 0 && m.idle != nil {
+		close(m.idle)
+		m.idle = nil
+	}
+	m.mu.Unlock()
 }
 
 // evictLocked drops the oldest finished jobs beyond the history bound.
@@ -255,7 +290,7 @@ func (m *Manager) evictLocked() {
 }
 
 func (m *Manager) exec(j *Job) {
-	defer m.wg.Done()
+	defer m.jobDone()
 	select {
 	case m.sem <- struct{}{}:
 	case <-m.closing:
@@ -280,7 +315,7 @@ func (m *Manager) exec(j *Job) {
 			err = errors.New(rec.Err)
 		}
 	} else {
-		_, err = m.eng.Run(j.spec, j.append)
+		_, err = m.runner.Run(j.spec, j.append)
 	}
 	j.finish(err)
 	st := j.status()
@@ -328,13 +363,19 @@ func (m *Manager) Count() int {
 // work.
 func (m *Manager) Drain(ctx context.Context) error {
 	m.closeOnce.Do(func() { close(m.closing) })
-	done := make(chan struct{})
-	go func() {
-		m.wg.Wait()
-		close(done)
-	}()
+	m.mu.Lock()
+	m.draining = true
+	if m.inflight == 0 {
+		m.mu.Unlock()
+		return nil
+	}
+	if m.idle == nil {
+		m.idle = make(chan struct{})
+	}
+	idle := m.idle
+	m.mu.Unlock()
 	select {
-	case <-done:
+	case <-idle:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()

@@ -19,6 +19,12 @@ type Config struct {
 	// Engine is the shared sweep engine (cache, worker pool, scheduler
 	// choice). Required.
 	Engine *sweep.Engine
+	// Runner, when non-nil, executes sweep grids instead of Engine.Run —
+	// the hook the fabric coordinator uses to shard sweeps across
+	// registered workers (single-point runs stay on the engine). It must
+	// honour the engine's Run contract: deterministic grid-order emit and
+	// identical records, so streamed JSONL stays byte-identical.
+	Runner Runner
 	// Log receives request and job-lifecycle records; slog.Default when nil.
 	Log *slog.Logger
 	// MaxHistory bounds the finished jobs kept before the oldest are
@@ -46,6 +52,9 @@ func New(cfg Config) *Server {
 		mgr: NewManager(cfg.Engine, log, cfg.MaxHistory, cfg.MaxConcurrentJobs),
 		log: log,
 		mux: http.NewServeMux(),
+	}
+	if cfg.Runner != nil {
+		s.mgr.runner = cfg.Runner
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/kernels", s.handleKernels)
